@@ -1,0 +1,57 @@
+// Reproduces Fig. 4: the general lower bound e(s)·log(n) − O(log log n) for
+// s-systolic gossip in the directed and half-duplex cases.
+//
+// Paper row:  s    3       4       5       6       7       8       inf
+//             e(s) 2.8808  1.8133  1.6502  1.5363  1.5021  1.4721  1.4404
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/tables.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_fig4() {
+  std::printf("=== Fig. 4: general systolic lower bound (directed / half-duplex) ===\n");
+  std::printf("t >= e(s)*log2(n) - O(log log n)\n\n");
+  sysgo::util::Table table({"s", "lambda*", "e(s)"});
+  for (const auto& row : sysgo::core::fig4_rows_paper())
+    table.add_row({sysgo::core::period_label(row.s),
+                   sysgo::util::format_fixed(row.lambda, 6),
+                   sysgo::util::format_fixed(row.e, 4)});
+  std::printf("%s\n", table.str().c_str());
+}
+
+void BM_Fig4Row(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  double e = 0.0;
+  for (auto _ : state) {
+    e = sysgo::core::e_general(s, sysgo::core::Duplex::kHalf);
+    benchmark::DoNotOptimize(e);
+  }
+  state.counters["e(s)"] = e;
+}
+BENCHMARK(BM_Fig4Row)->DenseRange(3, 8)->Name("fig4/e_general");
+
+void BM_Fig4Unbounded(benchmark::State& state) {
+  double e = 0.0;
+  for (auto _ : state) {
+    e = sysgo::core::e_general(sysgo::core::kUnboundedPeriod,
+                               sysgo::core::Duplex::kHalf);
+    benchmark::DoNotOptimize(e);
+  }
+  state.counters["e(inf)"] = e;
+}
+BENCHMARK(BM_Fig4Unbounded)->Name("fig4/e_general_nonsystolic");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig4();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

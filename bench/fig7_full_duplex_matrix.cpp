@@ -1,0 +1,50 @@
+// Reproduces Fig. 7: the full-duplex local matrix Mx(λ) for s = 4 and the
+// Lemma 6.1 norm bound λ + λ² + … + λ^{s−1}.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/full_duplex.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr double kLambda = 0.5;
+
+void print_fig7() {
+  std::printf("=== Fig. 7: full-duplex Mx(lambda) for s = 4, lambda = %.2f ===\n\n",
+              kLambda);
+  const auto m = sysgo::core::full_duplex_local_matrix(8, 4, kLambda);
+  std::printf("%s\n", m.str(4).c_str());
+
+  sysgo::util::Table cmp({"s", "Lemma 6.1 bound", "exact (t=256)"});
+  for (int s : {3, 4, 5, 6, 8})
+    cmp.add_row({std::to_string(s),
+                 sysgo::util::format_fixed(
+                     sysgo::core::full_duplex_norm_bound(s, kLambda), 6),
+                 sysgo::util::format_fixed(
+                     sysgo::core::full_duplex_norm_exact(256, s, kLambda), 6)});
+  std::printf("%s\n", cmp.str().c_str());
+}
+
+void BM_FullDuplexNorm(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  double norm = 0.0;
+  for (auto _ : state) {
+    norm = sysgo::core::full_duplex_norm_exact(t, 4, kLambda);
+    benchmark::DoNotOptimize(norm);
+  }
+  state.counters["norm"] = norm;
+}
+BENCHMARK(BM_FullDuplexNorm)->Name("fig7/norm_exact")->RangeMultiplier(4)->Range(16, 256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig7();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

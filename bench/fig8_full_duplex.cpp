@@ -1,0 +1,68 @@
+// Reproduces Fig. 8: full-duplex lower bounds for specific networks
+// (Section 6).  The general full-duplex bound coincides with the bound
+// inferred from broadcasting [22,2]; the separator refinement improves it
+// for BF / WBF / K families.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/separator_bound.hpp"
+#include "core/tables.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+const std::vector<int> kPeriods{3, 4, 5, 6, 7, 8, sysgo::core::kUnboundedPeriod};
+
+void print_fig8() {
+  std::printf("=== Fig. 8: full-duplex lower bounds ===\n");
+  std::printf("entries: e(s) such that t >= e(s)*log2(n)*(1 - o(1))\n\n");
+
+  // General full-duplex row (the broadcasting-equivalent baseline).
+  sysgo::util::Table general({"s", "lambda*", "e_general_fd(s)"});
+  for (int s : kPeriods) {
+    const double lam = sysgo::core::lambda_star(s, sysgo::core::Duplex::kFull);
+    general.add_row({sysgo::core::period_label(s),
+                     sysgo::util::format_fixed(lam, 6),
+                     sysgo::util::format_fixed(sysgo::core::e_coefficient(lam), 4)});
+  }
+  std::printf("%s\n", general.str().c_str());
+
+  std::vector<std::string> header{"network"};
+  for (int s : kPeriods) header.push_back("s=" + sysgo::core::period_label(s));
+  sysgo::util::Table table(header);
+  for (const auto& row : sysgo::core::fig8_rows(kPeriods)) {
+    std::vector<std::string> cells{sysgo::topology::family_name(row.family, row.d)};
+    for (double e : row.e_by_period)
+      cells.push_back(sysgo::util::format_fixed(e, 4));
+    table.add_row(std::move(cells));
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+void BM_Fig8Entry(benchmark::State& state) {
+  const auto families = sysgo::core::paper_family_list();
+  const auto& [family, d] = families[static_cast<std::size_t>(state.range(0))];
+  const int s = static_cast<int>(state.range(1));
+  double e = 0.0;
+  for (auto _ : state) {
+    e = sysgo::core::separator_bound(family, d, s, sysgo::core::Duplex::kFull).e;
+    benchmark::DoNotOptimize(e);
+  }
+  state.counters["e"] = e;
+  state.SetLabel(sysgo::topology::family_name(family, d) + " s=" +
+                 std::to_string(s));
+}
+BENCHMARK(BM_Fig8Entry)->Name("fig8/separator_bound_fd")->ArgsProduct({{0, 4, 12}, {3, 6}});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig8();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

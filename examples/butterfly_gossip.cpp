@@ -1,0 +1,51 @@
+// Wrapped-Butterfly case study: the paper's headline comparison.  For
+// WBF(2,D) the best known small-period upper bound is ~2.5·log2(n) while
+// Theorem 5.1 certifies ~2.02·log2(n) at s = 4; we reproduce both sides —
+// analytic coefficients plus a concrete simulated protocol.
+//
+//   $ ./butterfly_gossip [D]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/audit.hpp"
+#include "core/separator_bound.hpp"
+#include "protocol/builders.hpp"
+#include "simulator/gossip_sim.hpp"
+#include "topology/wrapped_butterfly.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sysgo;
+  using topology::Family;
+
+  const int D = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int d = 2;
+  const auto g = topology::wrapped_butterfly(d, D);
+  const double logn = std::log2(static_cast<double>(g.vertex_count()));
+  std::printf("WBF(%d,%d): n = %d, log2(n) = %.2f\n\n", d, D, g.vertex_count(),
+              logn);
+
+  // Analytic side: Theorem 5.1 coefficients across periods.
+  util::Table bounds({"s", "e(s) [Thm 5.1]", "e(s)*log2(n)"});
+  for (int s : {3, 4, 5, 6, 8}) {
+    const auto res = core::separator_bound(Family::kWrappedButterfly, d, s,
+                                           core::Duplex::kHalf);
+    bounds.add_row({std::to_string(s), util::format_fixed(res.e, 4),
+                    util::format_fixed(res.e * logn, 1)});
+  }
+  std::printf("%s\n", bounds.str().c_str());
+
+  // Operational side: a concrete periodic protocol on this very network.
+  const auto sched = protocol::edge_coloring_schedule(g, protocol::Mode::kHalfDuplex);
+  const int measured = simulator::gossip_time(sched, 1 << 18);
+  const auto audit = core::audit_schedule(sched);
+  std::printf("edge-coloring schedule: period s = %d\n", sched.period_length());
+  std::printf("measured gossip time:   %d rounds (%.2f x log2(n))\n", measured,
+              measured / logn);
+  std::printf("audit certificate:      %d rounds (e = %.4f)\n",
+              audit.round_lower_bound, audit.e_coeff);
+  std::printf("\nThe measured upper bound and the certified lower bound bracket "
+              "the true systolic gossip complexity of this network.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "analysis/gap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/audit.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/polynomial.hpp"
+#include "linalg/power_iteration.hpp"
+
+namespace sysgo::analysis {
+namespace {
+
+// Rounds (1-based) within the window where `vertex` has an incoming /
+// outgoing activation.
+struct LocalRounds {
+  std::vector<int> in_rounds;
+  std::vector<int> out_rounds;
+};
+
+LocalRounds local_rounds(const protocol::SystolicSchedule& sched, int vertex,
+                         int window) {
+  LocalRounds lr;
+  for (int i = 1; i <= window; ++i) {
+    bool in = false;
+    bool out = false;
+    for (const auto& a : sched.round_at(i).arcs) {
+      in = in || a.head == vertex;
+      out = out || a.tail == vertex;
+    }
+    if (in) lr.in_rounds.push_back(i);
+    if (out) lr.out_rounds.push_back(i);
+  }
+  return lr;
+}
+
+// The vertex's local delay matrix: rows = incoming activations, columns =
+// outgoing activations, entry λ^{j−i} whenever 0 < j − i < s.
+linalg::Matrix local_matrix(const LocalRounds& lr, int s, double lambda) {
+  linalg::Matrix m(lr.in_rounds.size(), lr.out_rounds.size());
+  for (std::size_t r = 0; r < lr.in_rounds.size(); ++r)
+    for (std::size_t c = 0; c < lr.out_rounds.size(); ++c) {
+      const int delay = lr.out_rounds[c] - lr.in_rounds[r];
+      if (delay > 0 && delay < s)
+        m(r, c) = std::pow(lambda, delay);
+    }
+  return m;
+}
+
+}  // namespace
+
+double exact_local_norm(const protocol::SystolicSchedule& sched, int vertex,
+                        double lambda, int periods) {
+  if (!(lambda > 0.0 && lambda < 1.0))
+    throw std::invalid_argument("exact_local_norm: need 0 < lambda < 1");
+  const int window = periods * sched.period_length();
+  const auto lr = local_rounds(sched, vertex, window);
+  if (lr.in_rounds.empty() || lr.out_rounds.empty()) return 0.0;
+  return linalg::operator_norm(local_matrix(lr, sched.period_length(), lambda))
+      .value;
+}
+
+std::vector<VertexGapRow> audit_gap_report(const protocol::SystolicSchedule& sched,
+                                           double lambda, int periods) {
+  const auto acts = core::vertex_activities(sched);
+  std::vector<VertexGapRow> rows;
+  rows.reserve(acts.size());
+  for (int v = 0; v < sched.n; ++v) {
+    VertexGapRow row;
+    row.vertex = v;
+    row.left_rounds = acts[static_cast<std::size_t>(v)].left_rounds;
+    row.right_rounds = acts[static_cast<std::size_t>(v)].right_rounds;
+    row.exact_norm = exact_local_norm(sched, v, lambda, periods);
+    row.analytic_bound =
+        core::vertex_norm_bound(acts[static_cast<std::size_t>(v)],
+                                sched.period_length(), lambda, sched.mode);
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(), [](const VertexGapRow& a, const VertexGapRow& b) {
+    return a.analytic_bound > b.analytic_bound;
+  });
+  return rows;
+}
+
+}  // namespace sysgo::analysis

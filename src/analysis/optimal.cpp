@@ -1,0 +1,201 @@
+#include "analysis/optimal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sysgo::analysis {
+namespace {
+
+using protocol::Mode;
+using protocol::Round;
+
+// Knowledge state: row v occupies bits [v*n, v*n + n).
+std::uint64_t initial_state(int n) {
+  std::uint64_t s = 0;
+  for (int v = 0; v < n; ++v) s |= std::uint64_t{1} << (v * n + v);
+  return s;
+}
+
+std::uint64_t goal_state(int n) {
+  std::uint64_t s = 0;
+  for (int v = 0; v < n; ++v)
+    s |= ((std::uint64_t{1} << n) - 1) << (v * n);
+  return s;
+}
+
+std::uint64_t row(std::uint64_t state, int v, int n) {
+  return (state >> (v * n)) & ((std::uint64_t{1} << n) - 1);
+}
+
+std::uint64_t with_row(std::uint64_t state, int v, int n, std::uint64_t bits) {
+  const std::uint64_t mask = ((std::uint64_t{1} << n) - 1) << (v * n);
+  return (state & ~mask) | (bits << (v * n));
+}
+
+std::uint64_t apply(std::uint64_t state, const Round& round, Mode mode, int n) {
+  std::uint64_t next = state;
+  if (mode == Mode::kFullDuplex) {
+    for (const auto& a : round.arcs) {
+      if (a.tail >= a.head) continue;
+      const std::uint64_t u = row(state, a.tail, n) | row(state, a.head, n);
+      next = with_row(next, a.tail, n, u);
+      next = with_row(next, a.head, n, u);
+    }
+  } else {
+    for (const auto& a : round.arcs) {
+      const std::uint64_t u = row(state, a.head, n) | row(state, a.tail, n);
+      next = with_row(next, a.head, n, u);
+    }
+  }
+  return next;
+}
+
+// Enumerate maximal matchings by branching on the lowest-index free vertex.
+void enumerate_half_duplex(const graph::Digraph& g, int v, std::uint32_t used,
+                           std::vector<graph::Arc>& current,
+                           std::vector<Round>& out) {
+  const int n = g.vertex_count();
+  while (v < n && (used >> v) & 1) ++v;
+  if (v == n) {
+    out.push_back(Round{current});
+    out.back().canonicalize();
+    return;
+  }
+  bool extended = false;
+  // v as tail.
+  for (int w : g.out_neighbors(v)) {
+    if (w == v || ((used >> w) & 1)) continue;
+    extended = true;
+    current.push_back({v, w});
+    enumerate_half_duplex(g, v + 1, used | (1u << v) | (1u << w), current, out);
+    current.pop_back();
+  }
+  // v as head.
+  for (int w : g.in_neighbors(v)) {
+    if (w == v || ((used >> w) & 1)) continue;
+    extended = true;
+    current.push_back({w, v});
+    enumerate_half_duplex(g, v + 1, used | (1u << v) | (1u << w), current, out);
+    current.pop_back();
+  }
+  // v left unmatched: such a matching can still be maximal when all of v's
+  // partners get used later; enumerate the branch and filter for set
+  // maximality afterwards.
+  enumerate_half_duplex(g, v + 1, used | (1u << v), current, out);
+  (void)extended;
+}
+
+void enumerate_full_duplex(const graph::Digraph& g, int v, std::uint32_t used,
+                           std::vector<graph::Arc>& current,
+                           std::vector<Round>& out) {
+  const int n = g.vertex_count();
+  while (v < n && (used >> v) & 1) ++v;
+  if (v == n) {
+    out.push_back(Round{current});
+    out.back().canonicalize();
+    return;
+  }
+  for (int w : g.out_neighbors(v)) {
+    if (w <= v || ((used >> w) & 1)) continue;
+    if (!g.has_arc(w, v)) continue;  // need the opposite arc
+    current.push_back({v, w});
+    current.push_back({w, v});
+    enumerate_full_duplex(g, v + 1, used | (1u << v) | (1u << w), current, out);
+    current.pop_back();
+    current.pop_back();
+  }
+  enumerate_full_duplex(g, v + 1, used | (1u << v), current, out);
+}
+
+// Keep only set-maximal rounds (no round strictly contained in another) and
+// deduplicate.
+std::vector<Round> prune_to_maximal(std::vector<Round> rounds) {
+  std::sort(rounds.begin(), rounds.end(),
+            [](const Round& a, const Round& b) { return a.arcs < b.arcs; });
+  rounds.erase(std::unique(rounds.begin(), rounds.end()), rounds.end());
+  std::vector<Round> maximal;
+  for (const auto& r : rounds) {
+    bool dominated = false;
+    for (const auto& other : rounds) {
+      if (other.arcs.size() <= r.arcs.size() || r == other) continue;
+      dominated = std::includes(other.arcs.begin(), other.arcs.end(),
+                                r.arcs.begin(), r.arcs.end());
+      if (dominated) break;
+    }
+    if (!dominated && !r.arcs.empty()) maximal.push_back(r);
+  }
+  return maximal;
+}
+
+}  // namespace
+
+std::vector<Round> maximal_matchings(const graph::Digraph& g, Mode mode) {
+  if (g.vertex_count() > 8)
+    throw std::invalid_argument("maximal_matchings: n <= 8 required");
+  std::vector<Round> out;
+  std::vector<graph::Arc> current;
+  if (mode == Mode::kFullDuplex)
+    enumerate_full_duplex(g, 0, 0, current, out);
+  else
+    enumerate_half_duplex(g, 0, 0, current, out);
+  return prune_to_maximal(std::move(out));
+}
+
+OptimalResult optimal_gossip(const graph::Digraph& g, Mode mode, int max_rounds,
+                             std::size_t max_states) {
+  const int n = g.vertex_count();
+  if (n > 8) throw std::invalid_argument("optimal_gossip: n <= 8 required");
+  OptimalResult res;
+  if (n <= 1) {
+    res.rounds = 0;
+    return res;
+  }
+  const auto moves = maximal_matchings(g, mode);
+  const std::uint64_t start = initial_state(n);
+  const std::uint64_t goal = goal_state(n);
+
+  // BFS with parent tracking for the witness protocol.
+  struct Visit {
+    std::uint64_t parent;
+    int move;  // index into `moves`
+  };
+  std::unordered_map<std::uint64_t, Visit> visited;
+  visited.emplace(start, Visit{start, -1});
+  std::vector<std::uint64_t> frontier{start};
+  for (int depth = 1; depth <= max_rounds && !frontier.empty(); ++depth) {
+    std::vector<std::uint64_t> next_frontier;
+    for (std::uint64_t state : frontier) {
+      for (std::size_t m = 0; m < moves.size(); ++m) {
+        const std::uint64_t next = apply(state, moves[m], mode, n);
+        if (next == state) continue;
+        if (visited.contains(next)) continue;
+        if (visited.size() >= max_states) {
+          res.budget_exhausted = true;
+          res.states_explored = visited.size();
+          return res;
+        }
+        visited.emplace(next, Visit{state, static_cast<int>(m)});
+        if (next == goal) {
+          res.rounds = depth;
+          res.states_explored = visited.size();
+          // Reconstruct the witness.
+          std::uint64_t cur = next;
+          while (cur != start) {
+            const auto& v = visited.at(cur);
+            res.witness.push_back(moves[static_cast<std::size_t>(v.move)]);
+            cur = v.parent;
+          }
+          std::reverse(res.witness.begin(), res.witness.end());
+          return res;
+        }
+        next_frontier.push_back(next);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  res.states_explored = visited.size();
+  return res;
+}
+
+}  // namespace sysgo::analysis

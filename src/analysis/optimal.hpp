@@ -1,0 +1,44 @@
+// Exhaustive optimal gossip for tiny networks.
+//
+// Searches over ALL protocols (unrestricted, non-systolic) by BFS on the
+// global knowledge state; moves are the maximal matchings of the network in
+// the chosen duplex mode.  Restricting to maximal matchings is lossless:
+// knowledge is monotone, so extending a round's matching never hurts.
+//
+// The state packs the n x n knowledge matrix into a 64-bit key, so n <= 8
+// is required (and n <= 6 is practical).  Used to check the tightness of
+// the lower bounds on concrete small instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "protocol/protocol.hpp"
+
+namespace sysgo::analysis {
+
+/// All maximal matchings of g in the given mode, each canonicalized.
+/// Half-duplex: maximal sets of vertex-disjoint arcs; full-duplex: maximal
+/// sets of vertex-disjoint opposite pairs (both arcs listed).
+[[nodiscard]] std::vector<protocol::Round> maximal_matchings(
+    const graph::Digraph& g, protocol::Mode mode);
+
+struct OptimalResult {
+  int rounds = -1;  // minimum gossip time, or -1 if unreachable in budget
+  std::size_t states_explored = 0;
+  bool budget_exhausted = false;  // search aborted after max_states
+  /// One optimal protocol (round sequence realizing the minimum).
+  std::vector<protocol::Round> witness;
+};
+
+/// Minimum gossip time over all protocols on g (n <= 8).  The search aborts
+/// with budget_exhausted once max_states knowledge states have been visited
+/// (dense half-duplex instances grow beyond memory quickly: K6 half-duplex
+/// already exceeds 10^8 reachable states).
+[[nodiscard]] OptimalResult optimal_gossip(const graph::Digraph& g,
+                                           protocol::Mode mode,
+                                           int max_rounds = 32,
+                                           std::size_t max_states = 20'000'000);
+
+}  // namespace sysgo::analysis

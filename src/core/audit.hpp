@@ -1,0 +1,75 @@
+// Protocol auditor: a certified lower bound for a *concrete* systolic
+// schedule via Theorem 4.1.
+//
+// For each vertex x the schedule fixes the per-period activation pattern;
+// Lemma 4.2/4.3 bound the local norm from the per-period left/right
+// activation totals (half-duplex), or from cyclic gap sums and
+// ‖A‖₂ <= √(‖A‖₁·‖A‖∞) (full-duplex).  The largest λ* with
+// max_x bound_x(λ*) <= 1 then certifies (Theorem 4.1) that gossip under
+// this schedule needs at least theorem41_round_bound(λ*, n) rounds.
+//
+// Because the audit uses each vertex's actual totals (L_x, R_x) rather than
+// the worst-case ⌈s/2⌉/⌊s/2⌋ split, it can certify strictly more than the
+// general e(s)·log n bound — the per-protocol refinement the paper's
+// technique enables (see DESIGN.md, ablation 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "protocol/systolic.hpp"
+
+namespace sysgo::core {
+
+/// Per-vertex, per-period activation summary.
+struct VertexActivity {
+  int left_rounds = 0;   // rounds of the period with an incoming activation
+  int right_rounds = 0;  // rounds with an outgoing activation
+  std::vector<int> active_rounds;  // full-duplex: rounds with any activation
+};
+
+/// Summaries for every vertex of a schedule's period.
+[[nodiscard]] std::vector<VertexActivity> vertex_activities(
+    const protocol::SystolicSchedule& sched);
+
+/// The certified per-vertex local-norm bound at λ: half-duplex uses
+/// Lemma 4.3 with the vertex's (L, R) totals; full-duplex uses cyclic gap
+/// sums with ‖A‖₂ <= √(‖A‖₁·‖A‖∞).  s is the schedule period.
+[[nodiscard]] double vertex_norm_bound(const VertexActivity& activity, int s,
+                                       double lambda, protocol::Mode mode);
+
+/// Certified upper bound on ‖M(λ)‖ for this schedule (max over vertices of
+/// the per-vertex local-norm bound).  Increasing in λ.
+[[nodiscard]] double audit_norm_bound(const protocol::SystolicSchedule& sched,
+                                      double lambda);
+
+struct AuditResult {
+  double lambda_star = 0.0;  // largest λ with certified ‖M(λ)‖ <= 1
+  double e_coeff = 0.0;      // 1/log2(1/λ*)
+  int round_lower_bound = 0; // Theorem 4.1 round count at λ*
+  int worst_vertex = -1;     // vertex attaining the norm bound at λ*
+};
+
+/// Run the audit.  The bound holds for *any* execution length of this
+/// schedule that achieves gossip on an n-vertex network.
+[[nodiscard]] AuditResult audit_schedule(const protocol::SystolicSchedule& sched);
+
+/// Theorem 5.1 applied to a concrete schedule and a concrete separator:
+/// given BFS-verified vertex sets V1, V2 at distance >= `distance` with
+/// min(|V1|, |V2|) >= `min_size`, the proof of Theorem 5.1 yields, for any
+/// λ with certified ‖M(λ)‖ <= 1, the smallest t satisfying
+///
+///   t·log2(1/λ) >= log2(c) − (dist−1)·log2(‖M(λ)‖bound)
+///                  − log2(t − dist + 2) − log2(t).
+///
+/// Returns the best such t over λ.  Strictly stronger than audit_schedule
+/// when the network has far-apart large sets (e.g. Butterfly levels).
+struct SeparatorAuditResult {
+  double lambda = 0.0;
+  int round_lower_bound = 0;
+};
+[[nodiscard]] SeparatorAuditResult audit_schedule_with_separator(
+    const protocol::SystolicSchedule& sched, int distance, std::size_t min_size);
+
+}  // namespace sysgo::core

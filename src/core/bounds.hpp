@@ -1,0 +1,43 @@
+// General lower bounds on systolic gossip time (Corollary 4.4 and the
+// full-duplex analogue of Section 6).
+//
+// Half-duplex/directed: e(s) = 1/log(1/λ*) with
+//   λ*·√(p⌈s/2⌉(λ*))·√(p⌊s/2⌋(λ*)) = 1;
+// full-duplex: λ* + λ*² + … + λ*^{s−1} = 1.
+// s = kUnboundedPeriod means s → ∞ (non-systolic protocols).
+#pragma once
+
+#include <cstdint>
+
+namespace sysgo::core {
+
+/// Sentinel period for "non-systolic" (s → ∞) bounds.
+inline constexpr int kUnboundedPeriod = -1;
+
+enum class Duplex {
+  kHalf,  // also covers the directed case
+  kFull,
+};
+
+/// The norm-bound function F(λ, s): the paper's
+/// λ·√(p⌈s/2⌉)·√(p⌊s/2⌋) (half-duplex) or λ+…+λ^{s−1} (full-duplex);
+/// strictly increasing in λ on (0, 1).
+[[nodiscard]] double norm_bound_function(double lambda, int s, Duplex duplex);
+
+/// The unique λ* in (0, 1) with F(λ*, s) = 1.  Requires s >= 3 or
+/// kUnboundedPeriod.
+[[nodiscard]] double lambda_star(int s, Duplex duplex);
+
+/// Coefficient e = 1/log2(1/λ).
+[[nodiscard]] double e_coefficient(double lambda);
+
+/// The general bound coefficient e(s): any s-systolic gossip protocol on n
+/// vertices takes at least e(s)·log2(n) − O(log log n) rounds.
+[[nodiscard]] double e_general(int s, Duplex duplex);
+
+/// Theorem 4.1 instantiated: the smallest integer t satisfying
+/// t·log2(1/λ) + 2·log2(t) >= log2(n−1) + 1 — a hard round count valid for
+/// any protocol whose delay matrix satisfies ‖M(λ)‖ <= 1.
+[[nodiscard]] int theorem41_round_bound(double lambda, std::int64_t n);
+
+}  // namespace sysgo::core

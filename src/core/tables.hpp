@@ -1,0 +1,56 @@
+// Generators for the paper's numeric tables (Figs. 4, 5, 6 and 8).
+// Each function recomputes a figure's rows from first principles; the bench
+// binaries format them, and the test suite pins the digits the paper quotes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "topology/topology.hpp"
+
+namespace sysgo::core {
+
+/// One row of Fig. 4: the general directed/half-duplex systolic bound.
+struct Fig4Row {
+  int s = 0;  // kUnboundedPeriod for the s = ∞ row
+  double lambda = 0.0;
+  double e = 0.0;
+};
+[[nodiscard]] std::vector<Fig4Row> fig4_rows(const std::vector<int>& periods);
+/// The paper's selection: s = 3..8 plus s = ∞.
+[[nodiscard]] std::vector<Fig4Row> fig4_rows_paper();
+
+/// One row of a per-topology table (Figs. 5, 6, 8): coefficients of log2(n)
+/// by systolic period for a family.
+struct TopologyBoundRow {
+  topology::Family family{};
+  int d = 0;
+  double alpha = 0.0;
+  double ell = 0.0;
+  std::vector<double> e_by_period;  // aligned with the periods argument
+};
+
+/// Fig. 5 (half-duplex/directed, systolic) rows for the given periods.
+[[nodiscard]] std::vector<TopologyBoundRow> fig5_rows(const std::vector<int>& periods);
+
+/// One row of Fig. 6 (non-systolic, half-duplex/directed).
+struct Fig6Row {
+  topology::Family family{};
+  int d = 0;
+  double e_matrix = 0.0;    // Theorem 5.1 at s = ∞
+  double e_diameter = 0.0;  // trivial diameter coefficient
+  double e_best = 0.0;      // max of the two (what the figure reports)
+};
+[[nodiscard]] std::vector<Fig6Row> fig6_rows();
+
+/// Fig. 8 (full-duplex) rows for the given periods.
+[[nodiscard]] std::vector<TopologyBoundRow> fig8_rows(const std::vector<int>& periods);
+
+/// The families × degrees the paper tabulates (d = 2, 3 for each family).
+[[nodiscard]] std::vector<std::pair<topology::Family, int>> paper_family_list();
+
+/// Period label for table headers: "3".."8" or "inf".
+[[nodiscard]] std::string period_label(int s);
+
+}  // namespace sysgo::core

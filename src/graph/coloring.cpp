@@ -1,0 +1,53 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+
+namespace sysgo::graph {
+
+EdgeColoring greedy_edge_coloring(const Digraph& g) {
+  EdgeColoring out;
+  out.edges = g.undirected_edges();
+  out.colors.assign(out.edges.size(), -1);
+
+  // Colors already used at each vertex, as bitsets over small color ids.
+  const int n = g.vertex_count();
+  std::vector<std::vector<char>> used(static_cast<std::size_t>(n));
+  auto color_free = [&](int v, int c) {
+    const auto& u = used[static_cast<std::size_t>(v)];
+    return c >= static_cast<int>(u.size()) || !u[static_cast<std::size_t>(c)];
+  };
+  auto mark = [&](int v, int c) {
+    auto& u = used[static_cast<std::size_t>(v)];
+    if (c >= static_cast<int>(u.size())) u.resize(static_cast<std::size_t>(c) + 1, 0);
+    u[static_cast<std::size_t>(c)] = 1;
+  };
+
+  for (std::size_t i = 0; i < out.edges.size(); ++i) {
+    const auto [u, v] = out.edges[i];
+    int c = 0;
+    while (!(color_free(u, c) && color_free(v, c))) ++c;
+    out.colors[i] = c;
+    mark(u, c);
+    mark(v, c);
+    out.color_count = std::max(out.color_count, c + 1);
+  }
+  return out;
+}
+
+bool is_proper_edge_coloring(const EdgeColoring& c, int n) {
+  if (c.edges.size() != c.colors.size()) return false;
+  // (vertex, color) pairs must be unique.
+  std::vector<std::pair<long long, int>> seen;
+  seen.reserve(2 * c.edges.size());
+  for (std::size_t i = 0; i < c.edges.size(); ++i) {
+    const auto [u, v] = c.edges[i];
+    const int col = c.colors[i];
+    if (u < 0 || u >= n || v < 0 || v >= n || col < 0) return false;
+    seen.emplace_back(static_cast<long long>(u) * c.edges.size() + col, 0);
+    seen.emplace_back(static_cast<long long>(v) * c.edges.size() + col, 0);
+  }
+  std::sort(seen.begin(), seen.end());
+  return std::adjacent_find(seen.begin(), seen.end()) == seen.end();
+}
+
+}  // namespace sysgo::graph

@@ -1,0 +1,30 @@
+// Proper edge colorings.
+//
+// Periodic ("traffic-light") protocols in the sense of Liestman–Richards
+// activate one color class per round; any proper edge coloring therefore
+// induces a systolic schedule.  Greedy coloring uses at most 2Δ−1 colors,
+// which is enough for protocol construction (we never need optimality).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::graph {
+
+struct EdgeColoring {
+  /// Edge list (u < v) in the order colors are indexed.
+  std::vector<std::pair<int, int>> edges;
+  /// colors[i] is the color of edges[i], in [0, color_count).
+  std::vector<int> colors;
+  int color_count = 0;
+};
+
+/// Greedy proper edge coloring of the undirected support of g.
+[[nodiscard]] EdgeColoring greedy_edge_coloring(const Digraph& g);
+
+/// Validity check: no two edges of equal color share an endpoint.
+[[nodiscard]] bool is_proper_edge_coloring(const EdgeColoring& c, int n);
+
+}  // namespace sysgo::graph

@@ -1,0 +1,127 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace sysgo::graph {
+
+Digraph::Digraph(int n, std::vector<Arc> arcs) : n_(n), arcs_(std::move(arcs)) {
+  finalize();
+}
+
+void Digraph::add_arc(int tail, int head) {
+  if (tail < 0 || tail >= n_ || head < 0 || head >= n_)
+    throw std::out_of_range("Digraph::add_arc: vertex out of range");
+  finalized_ = false;
+  arcs_.push_back({tail, head});
+}
+
+void Digraph::add_edge(int u, int v) {
+  add_arc(u, v);
+  add_arc(v, u);
+}
+
+void Digraph::finalize() {
+  for (const Arc& a : arcs_)
+    if (a.tail < 0 || a.tail >= n_ || a.head < 0 || a.head >= n_)
+      throw std::out_of_range("Digraph::finalize: arc endpoint out of range");
+  std::sort(arcs_.begin(), arcs_.end());
+  arcs_.erase(std::unique(arcs_.begin(), arcs_.end()), arcs_.end());
+
+  out_offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  in_offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const Arc& a : arcs_) {
+    ++out_offsets_[static_cast<std::size_t>(a.tail) + 1];
+    ++in_offsets_[static_cast<std::size_t>(a.head) + 1];
+  }
+  for (int v = 0; v < n_; ++v) {
+    out_offsets_[static_cast<std::size_t>(v) + 1] += out_offsets_[v];
+    in_offsets_[static_cast<std::size_t>(v) + 1] += in_offsets_[v];
+  }
+  out_adj_.resize(arcs_.size());
+  in_adj_.resize(arcs_.size());
+  std::vector<std::size_t> out_fill(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<std::size_t> in_fill(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (const Arc& a : arcs_) {
+    out_adj_[out_fill[a.tail]++] = a.head;
+    in_adj_[in_fill[a.head]++] = a.tail;
+  }
+  // arcs_ is sorted, so out_adj_ per vertex is sorted; sort in_adj_ rows too.
+  for (int v = 0; v < n_; ++v)
+    std::sort(in_adj_.begin() + static_cast<std::ptrdiff_t>(in_offsets_[v]),
+              in_adj_.begin() + static_cast<std::ptrdiff_t>(in_offsets_[v + 1]));
+  finalized_ = true;
+}
+
+std::span<const int> Digraph::out_neighbors(int v) const noexcept {
+  assert(finalized_);
+  return {out_adj_.data() + out_offsets_[v], out_offsets_[v + 1] - out_offsets_[v]};
+}
+
+std::span<const int> Digraph::in_neighbors(int v) const noexcept {
+  assert(finalized_);
+  return {in_adj_.data() + in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]};
+}
+
+int Digraph::out_degree(int v) const noexcept {
+  return static_cast<int>(out_neighbors(v).size());
+}
+
+int Digraph::in_degree(int v) const noexcept {
+  return static_cast<int>(in_neighbors(v).size());
+}
+
+int Digraph::max_out_degree() const noexcept {
+  int m = 0;
+  for (int v = 0; v < n_; ++v) m = std::max(m, out_degree(v));
+  return m;
+}
+
+int Digraph::max_degree_undirected() const noexcept {
+  int m = 0;
+  for (int v = 0; v < n_; ++v) m = std::max(m, (in_degree(v) + out_degree(v)) / 2);
+  return m;
+}
+
+bool Digraph::has_arc(int tail, int head) const noexcept {
+  assert(finalized_);
+  if (tail < 0 || tail >= n_) return false;
+  const auto nbrs = out_neighbors(tail);
+  return std::binary_search(nbrs.begin(), nbrs.end(), head);
+}
+
+bool Digraph::is_symmetric() const noexcept {
+  assert(finalized_);
+  for (const Arc& a : arcs_)
+    if (!has_arc(a.head, a.tail)) return false;
+  return true;
+}
+
+Digraph Digraph::reverse() const {
+  std::vector<Arc> rev;
+  rev.reserve(arcs_.size());
+  for (const Arc& a : arcs_) rev.push_back(reversed(a));
+  return Digraph(n_, std::move(rev));
+}
+
+Digraph Digraph::symmetric_closure() const {
+  std::vector<Arc> all(arcs_.begin(), arcs_.end());
+  for (const Arc& a : arcs_) all.push_back(reversed(a));
+  return Digraph(n_, std::move(all));
+}
+
+std::vector<std::pair<int, int>> Digraph::undirected_edges() const {
+  std::vector<std::pair<int, int>> edges;
+  for (const Arc& a : arcs_) {
+    if (a.tail == a.head) continue;  // self-loop: useless for communication
+    const int u = std::min(a.tail, a.head);
+    const int v = std::max(a.tail, a.head);
+    edges.emplace_back(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace sysgo::graph

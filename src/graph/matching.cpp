@@ -1,0 +1,49 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+
+namespace sysgo::graph {
+
+bool is_half_duplex_matching(std::span<const Arc> arcs, int n) {
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  for (const Arc& a : arcs) {
+    if (a.tail < 0 || a.tail >= n || a.head < 0 || a.head >= n) return false;
+    if (a.tail == a.head) return false;
+    if (used[a.tail] || used[a.head]) return false;
+    used[a.tail] = used[a.head] = 1;
+  }
+  return true;
+}
+
+bool is_full_duplex_matching(std::span<const Arc> arcs, int n) {
+  // Pair id per vertex: 0 = unused, otherwise 1 + index of its partner.
+  std::vector<int> partner(static_cast<std::size_t>(n), -1);
+  std::vector<Arc> sorted(arcs.begin(), arcs.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const Arc& a : sorted) {
+    if (a.tail < 0 || a.tail >= n || a.head < 0 || a.head >= n) return false;
+    if (a.tail == a.head) return false;
+    // Opposite arc must be active too.
+    if (!std::binary_search(sorted.begin(), sorted.end(), reversed(a))) return false;
+    // Endpoints may only pair with each other.
+    if (partner[a.tail] != -1 && partner[a.tail] != a.head) return false;
+    if (partner[a.head] != -1 && partner[a.head] != a.tail) return false;
+    partner[a.tail] = a.head;
+    partner[a.head] = a.tail;
+  }
+  return true;
+}
+
+std::vector<Arc> greedy_matching(std::span<const Arc> pool, int n) {
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  std::vector<Arc> out;
+  for (const Arc& a : pool) {
+    if (a.tail == a.head) continue;
+    if (used[a.tail] || used[a.head]) continue;
+    used[a.tail] = used[a.head] = 1;
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace sysgo::graph

@@ -1,0 +1,27 @@
+// Matching predicates for communication rounds.
+//
+// A gossip round must be a matching (whispering / processor-bound model):
+// half-duplex — no two active arcs share an endpoint; full-duplex — active
+// arcs come in opposite pairs, and distinct pairs share no endpoint.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::graph {
+
+/// Half-duplex/directed matching: no two arcs share any endpoint
+/// (a vertex may appear in at most one arc, as tail or head).
+[[nodiscard]] bool is_half_duplex_matching(std::span<const Arc> arcs, int n);
+
+/// Full-duplex matching: every arc's opposite is present, no self-loops,
+/// and no endpoint belongs to two different unordered pairs.
+[[nodiscard]] bool is_full_duplex_matching(std::span<const Arc> arcs, int n);
+
+/// Greedy maximal half-duplex matching from an arc pool (used by random
+/// protocol generators).  Arcs are taken in the order given.
+[[nodiscard]] std::vector<Arc> greedy_matching(std::span<const Arc> pool, int n);
+
+}  // namespace sysgo::graph

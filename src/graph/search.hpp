@@ -1,0 +1,32 @@
+// BFS-based distance queries: single/multi-source distances, diameter,
+// strong connectivity.  Diameter runs all-pairs BFS with the thread pool.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::graph {
+
+/// Sentinel for "unreachable" in distance vectors.
+inline constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+/// Directed BFS distances from src to every vertex.
+[[nodiscard]] std::vector<int> bfs_distances(const Digraph& g, int src);
+
+/// Directed BFS distances from the nearest vertex of `sources`.
+[[nodiscard]] std::vector<int> multi_source_bfs(const Digraph& g,
+                                                const std::vector<int>& sources);
+
+/// dist(u -> v); kUnreachable when there is no dipath.
+[[nodiscard]] int distance(const Digraph& g, int u, int v);
+
+/// max_u max_v dist(u -> v); kUnreachable when g is not strongly connected.
+/// Parallel over sources when the graph is large.
+[[nodiscard]] int diameter(const Digraph& g);
+
+/// Every vertex reaches every other vertex.
+[[nodiscard]] bool is_strongly_connected(const Digraph& g);
+
+}  // namespace sysgo::graph

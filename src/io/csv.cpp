@@ -1,0 +1,79 @@
+#include "io/csv.hpp"
+
+#include <sstream>
+
+#include "core/tables.hpp"
+#include "util/table.hpp"
+
+namespace sysgo::io {
+
+std::string csv_line(const std::vector<std::string>& cells) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string& c = cells[i];
+    const bool needs_quotes = c.find_first_of(",\"\n") != std::string::npos;
+    if (needs_quotes) {
+      out << '"';
+      for (char ch : c) {
+        if (ch == '"') out << '"';
+        out << ch;
+      }
+      out << '"';
+    } else {
+      out << c;
+    }
+    if (i + 1 < cells.size()) out << ',';
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::string fig4_csv() {
+  std::ostringstream out;
+  out << csv_line({"s", "lambda", "e"});
+  for (const auto& row : core::fig4_rows_paper())
+    out << csv_line({core::period_label(row.s), util::format_fixed(row.lambda, 6),
+                     util::format_fixed(row.e, 4)});
+  return out.str();
+}
+
+namespace {
+
+std::string topology_csv(const std::vector<int>& periods, bool full_duplex) {
+  std::ostringstream out;
+  std::vector<std::string> header{"network", "d", "alpha", "ell"};
+  for (int s : periods) header.push_back("e_s" + core::period_label(s));
+  out << csv_line(header);
+  const auto rows =
+      full_duplex ? core::fig8_rows(periods) : core::fig5_rows(periods);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{topology::family_name(row.family, row.d),
+                                   std::to_string(row.d),
+                                   util::format_fixed(row.alpha, 6),
+                                   util::format_fixed(row.ell, 6)};
+    for (double e : row.e_by_period) cells.push_back(util::format_fixed(e, 4));
+    out << csv_line(cells);
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string fig5_csv() { return topology_csv({3, 4, 5, 6, 7, 8}, false); }
+
+std::string fig6_csv() {
+  std::ostringstream out;
+  out << csv_line({"network", "d", "e_matrix", "e_diameter", "e_best"});
+  for (const auto& row : core::fig6_rows())
+    out << csv_line({topology::family_name(row.family, row.d), std::to_string(row.d),
+                     util::format_fixed(row.e_matrix, 4),
+                     util::format_fixed(row.e_diameter, 4),
+                     util::format_fixed(row.e_best, 4)});
+  return out.str();
+}
+
+std::string fig8_csv() {
+  return topology_csv({3, 4, 5, 6, 7, 8, core::kUnboundedPeriod}, true);
+}
+
+}  // namespace sysgo::io

@@ -1,0 +1,18 @@
+// CSV export of the figure tables — downstream plotting support.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sysgo::io {
+
+/// One CSV line from cells (quotes cells containing commas/quotes).
+[[nodiscard]] std::string csv_line(const std::vector<std::string>& cells);
+
+/// Full CSV documents for each reproduced figure.
+[[nodiscard]] std::string fig4_csv();
+[[nodiscard]] std::string fig5_csv();
+[[nodiscard]] std::string fig6_csv();
+[[nodiscard]] std::string fig8_csv();
+
+}  // namespace sysgo::io

@@ -1,0 +1,37 @@
+#include "io/dot.hpp"
+
+#include <sstream>
+
+namespace sysgo::io {
+
+std::string to_dot(const graph::Digraph& g, const std::string& name) {
+  std::ostringstream out;
+  const bool undirected = g.is_symmetric();
+  out << (undirected ? "graph " : "digraph ") << name << " {\n";
+  for (int v = 0; v < g.vertex_count(); ++v) out << "  " << v << ";\n";
+  for (const auto& a : g.arcs()) {
+    if (undirected) {
+      if (a.tail <= a.head) out << "  " << a.tail << " -- " << a.head << ";\n";
+    } else {
+      out << "  " << a.tail << " -> " << a.head << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const core::DelayDigraph& dg, const std::string& name) {
+  std::ostringstream out;
+  out << "digraph " << name << " {\n";
+  const auto& nodes = dg.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    out << "  n" << i << " [label=\"(" << nodes[i].tail << "->" << nodes[i].head
+        << ")@" << nodes[i].round << "\"];\n";
+  for (const auto& arc : dg.arcs())
+    out << "  n" << arc.from << " -> n" << arc.to << " [label=\"" << arc.weight
+        << "\"];\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace sysgo::io

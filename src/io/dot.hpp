@@ -1,0 +1,22 @@
+// Graphviz DOT export for networks and delay digraphs — visualization
+// support for a library users actually adopt.
+#pragma once
+
+#include <string>
+
+#include "core/delay_digraph.hpp"
+#include "graph/digraph.hpp"
+
+namespace sysgo::io {
+
+/// DOT rendering of a digraph.  Symmetric digraphs are rendered as an
+/// undirected `graph` with one edge per arc pair; others as a `digraph`.
+[[nodiscard]] std::string to_dot(const graph::Digraph& g,
+                                 const std::string& name = "G");
+
+/// DOT rendering of a delay digraph: nodes labelled "(tail->head)@round",
+/// arcs labelled with their delay.
+[[nodiscard]] std::string to_dot(const core::DelayDigraph& dg,
+                                 const std::string& name = "DG");
+
+}  // namespace sysgo::io

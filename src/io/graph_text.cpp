@@ -1,0 +1,39 @@
+#include "io/graph_text.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sysgo::io {
+
+std::string serialize(const graph::Digraph& g) {
+  std::ostringstream out;
+  out << "sysgo-digraph v1\n";
+  out << "n " << g.vertex_count() << '\n';
+  for (const auto& a : g.arcs()) out << "arc " << a.tail << ' ' << a.head << '\n';
+  return out.str();
+}
+
+graph::Digraph parse_digraph(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "sysgo-digraph" || version != "v1")
+    throw std::invalid_argument("graph_text: not a sysgo-digraph v1 document");
+  std::string kw;
+  int n = -1;
+  in >> kw >> n;
+  if (kw != "n" || n < 0)
+    throw std::invalid_argument("graph_text: malformed vertex count");
+  graph::Digraph g(n);
+  while (in >> kw) {
+    if (kw != "arc") throw std::invalid_argument("graph_text: expected 'arc'");
+    int tail = -1, head = -1;
+    if (!(in >> tail >> head))
+      throw std::invalid_argument("graph_text: malformed arc line");
+    g.add_arc(tail, head);  // range-checked by Digraph
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace sysgo::io

@@ -1,0 +1,22 @@
+// Plain-text digraph (de)serialization:
+//
+//   sysgo-digraph v1
+//   n 4
+//   arc 0 1
+//   arc 1 0
+//
+// Round-trips through Digraph::finalize() (sorted, deduplicated arcs).
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::io {
+
+[[nodiscard]] std::string serialize(const graph::Digraph& g);
+
+/// Parse; throws std::invalid_argument on malformed input.
+[[nodiscard]] graph::Digraph parse_digraph(const std::string& text);
+
+}  // namespace sysgo::io

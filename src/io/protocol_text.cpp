@@ -1,0 +1,128 @@
+#include "io/protocol_text.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace sysgo::io {
+namespace {
+
+using protocol::Mode;
+
+const char* mode_name(Mode m) { return m == Mode::kFullDuplex ? "full" : "half"; }
+
+Mode parse_mode(const std::string& word) {
+  if (word == "half") return Mode::kHalfDuplex;
+  if (word == "full") return Mode::kFullDuplex;
+  throw std::invalid_argument("protocol_text: unknown mode '" + word + "'");
+}
+
+void serialize_rounds(std::ostringstream& out, const std::vector<protocol::Round>& rounds) {
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    out << "round " << (i + 1) << ":";
+    for (const auto& a : rounds[i].arcs) out << ' ' << a.tail << '>' << a.head;
+    out << '\n';
+  }
+}
+
+// Shared body parser: returns rounds after the header lines.
+std::vector<protocol::Round> parse_rounds(std::istringstream& in, int n) {
+  std::vector<protocol::Round> rounds;
+  std::string line;
+  int line_no = 2;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kw;
+    int round_no = 0;
+    char colon = 0;
+    ls >> kw >> round_no >> colon;
+    if (kw != "round" || colon != ':')
+      throw std::invalid_argument("protocol_text: line " + std::to_string(line_no) +
+                                  ": expected 'round <k>:'");
+    if (round_no != static_cast<int>(rounds.size()) + 1)
+      throw std::invalid_argument("protocol_text: line " + std::to_string(line_no) +
+                                  ": rounds must be consecutive from 1");
+    protocol::Round round;
+    std::string arc;
+    while (ls >> arc) {
+      const auto sep = arc.find('>');
+      if (sep == std::string::npos)
+        throw std::invalid_argument("protocol_text: line " + std::to_string(line_no) +
+                                    ": bad arc '" + arc + "'");
+      const int tail = std::stoi(arc.substr(0, sep));
+      const int head = std::stoi(arc.substr(sep + 1));
+      if (tail < 0 || tail >= n || head < 0 || head >= n)
+        throw std::invalid_argument("protocol_text: line " + std::to_string(line_no) +
+                                    ": arc endpoint out of range");
+      round.arcs.push_back({tail, head});
+    }
+    round.canonicalize();
+    rounds.push_back(std::move(round));
+  }
+  return rounds;
+}
+
+// Parses "n <n> mode <half|full>" possibly followed by "period <k>".
+struct Header {
+  int n = 0;
+  Mode mode = Mode::kHalfDuplex;
+};
+
+Header parse_header_line(std::istringstream& in, const std::string& expected_magic,
+                         const std::string& text_kind) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != expected_magic || version != "v1")
+    throw std::invalid_argument("protocol_text: not a " + text_kind +
+                                " v1 document");
+  Header h;
+  std::string kw_n, kw_mode, mode_word;
+  in >> kw_n >> h.n >> kw_mode >> mode_word;
+  if (kw_n != "n" || kw_mode != "mode" || h.n <= 0)
+    throw std::invalid_argument("protocol_text: malformed header");
+  h.mode = parse_mode(mode_word);
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  return h;
+}
+
+}  // namespace
+
+std::string serialize(const protocol::Protocol& p) {
+  std::ostringstream out;
+  out << "sysgo-protocol v1\n";
+  out << "n " << p.n << " mode " << mode_name(p.mode) << '\n';
+  serialize_rounds(out, p.rounds);
+  return out.str();
+}
+
+std::string serialize(const protocol::SystolicSchedule& s) {
+  std::ostringstream out;
+  out << "sysgo-schedule v1\n";
+  out << "n " << s.n << " mode " << mode_name(s.mode) << '\n';
+  serialize_rounds(out, s.period);
+  return out.str();
+}
+
+protocol::Protocol parse_protocol(const std::string& text) {
+  std::istringstream in(text);
+  const auto h = parse_header_line(in, "sysgo-protocol", "protocol");
+  protocol::Protocol p;
+  p.n = h.n;
+  p.mode = h.mode;
+  p.rounds = parse_rounds(in, h.n);
+  return p;
+}
+
+protocol::SystolicSchedule parse_schedule(const std::string& text) {
+  std::istringstream in(text);
+  const auto h = parse_header_line(in, "sysgo-schedule", "schedule");
+  protocol::SystolicSchedule s;
+  s.n = h.n;
+  s.mode = h.mode;
+  s.period = parse_rounds(in, h.n);
+  return s;
+}
+
+}  // namespace sysgo::io

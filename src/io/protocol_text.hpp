@@ -1,0 +1,28 @@
+// Plain-text (de)serialization of protocols and schedules.
+//
+// Format (one round per line, 1-based round numbers, arcs "tail>head"):
+//
+//   sysgo-protocol v1
+//   n 4 mode half
+//   round 1: 0>1 2>3
+//   round 2: 1>2
+//
+// Schedules use header "sysgo-schedule v1" and "period k" lines.
+#pragma once
+
+#include <string>
+
+#include "protocol/protocol.hpp"
+#include "protocol/systolic.hpp"
+
+namespace sysgo::io {
+
+[[nodiscard]] std::string serialize(const protocol::Protocol& p);
+[[nodiscard]] std::string serialize(const protocol::SystolicSchedule& s);
+
+/// Parse; throws std::invalid_argument with a line-referencing message on
+/// malformed input.
+[[nodiscard]] protocol::Protocol parse_protocol(const std::string& text);
+[[nodiscard]] protocol::SystolicSchedule parse_schedule(const std::string& text);
+
+}  // namespace sysgo::io

@@ -1,0 +1,35 @@
+#include "linalg/polynomial.hpp"
+
+namespace sysgo::linalg {
+
+double delay_polynomial(int i, double lambda) noexcept {
+  if (i <= 0) return 0.0;
+  const double l2 = lambda * lambda;
+  double term = 1.0;
+  double sum = 0.0;
+  for (int j = 0; j < i; ++j) {
+    sum += term;
+    term *= l2;
+  }
+  return sum;
+}
+
+double delay_polynomial_limit(double lambda) noexcept {
+  return 1.0 / (1.0 - lambda * lambda);
+}
+
+double geometric_sum(int k, double lambda) noexcept {
+  double term = lambda;
+  double sum = 0.0;
+  for (int j = 1; j <= k; ++j) {
+    sum += term;
+    term *= lambda;
+  }
+  return sum;
+}
+
+double geometric_sum_limit(double lambda) noexcept {
+  return lambda / (1.0 - lambda);
+}
+
+}  // namespace sysgo::linalg

@@ -1,0 +1,78 @@
+#include "linalg/roots.hpp"
+
+#include <cmath>
+
+namespace sysgo::linalg {
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  double tol) {
+  RootResult res;
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, true};
+  if (fhi == 0.0) return {hi, true};
+  if ((flo < 0.0) == (fhi < 0.0)) {
+    res.bracketed = false;
+    res.x = std::fabs(flo) <= std::fabs(fhi) ? lo : hi;
+    return res;
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return {mid, true};
+    if ((fmid < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  res.bracketed = true;
+  res.x = 0.5 * (lo + hi);
+  return res;
+}
+
+MaxResult maximize(const std::function<double(double)>& f, double lo, double hi,
+                   int grid, double tol) {
+  // Coarse scan.
+  double best_x = lo;
+  double best_v = f(lo);
+  const double step = (hi - lo) / grid;
+  for (int i = 1; i <= grid; ++i) {
+    const double x = lo + i * step;
+    const double v = f(x);
+    if (v > best_v) {
+      best_v = v;
+      best_x = x;
+    }
+  }
+  // Golden-section refinement on the bracketing cell pair.
+  double a = std::max(lo, best_x - step);
+  double b = std::min(hi, best_x + step);
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  while (b - a > tol) {
+    if (fc >= fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = f(d);
+    }
+  }
+  const double mid = 0.5 * (a + b);
+  const double fmid = f(mid);
+  if (fmid >= best_v) return {mid, fmid};
+  return {best_x, best_v};
+}
+
+}  // namespace sysgo::linalg

@@ -1,0 +1,37 @@
+// Scalar root finding and 1-D maximization.
+//
+// Every table entry of the paper is either the root of a monotone function
+// of λ (Corollary 4.4, Section 6) or the maximum of a smooth function over
+// an interval of λ (Theorem 5.1); these two deterministic routines cover
+// both.
+#pragma once
+
+#include <functional>
+
+namespace sysgo::linalg {
+
+struct RootResult {
+  double x = 0.0;
+  bool bracketed = false;  // f(lo) and f(hi) had opposite signs
+};
+
+/// Bisection root of f on [lo, hi] to absolute x-tolerance `tol`.
+/// Requires f(lo) and f(hi) of opposite sign (else bracketed=false and x is
+/// the endpoint with the smaller |f|).
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f,
+                                double lo, double hi, double tol = 1e-13);
+
+struct MaxResult {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+/// Maximize f over [lo, hi]: coarse scan on `grid` points followed by
+/// golden-section refinement around the best cell.  Deterministic; exact
+/// for unimodal f, and robust for the mildly multimodal objectives of
+/// Theorem 5.1 with the default grid.
+[[nodiscard]] MaxResult maximize(const std::function<double(double)>& f,
+                                 double lo, double hi, int grid = 4096,
+                                 double tol = 1e-12);
+
+}  // namespace sysgo::linalg

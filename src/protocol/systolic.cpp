@@ -1,0 +1,23 @@
+#include "protocol/systolic.hpp"
+
+namespace sysgo::protocol {
+
+Protocol SystolicSchedule::expand(int t) const {
+  Protocol p;
+  p.n = n;
+  p.mode = mode;
+  p.rounds.reserve(static_cast<std::size_t>(t));
+  for (int i = 1; i <= t; ++i) p.rounds.push_back(round_at(i));
+  return p;
+}
+
+ValidationResult validate_structure(const SystolicSchedule& s,
+                                    const graph::Digraph* g) {
+  Protocol one_period;
+  one_period.n = s.n;
+  one_period.mode = s.mode;
+  one_period.rounds = s.period;
+  return validate_structure(one_period, g);
+}
+
+}  // namespace sysgo::protocol

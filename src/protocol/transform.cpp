@@ -1,0 +1,68 @@
+#include "protocol/transform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sysgo::protocol {
+
+Protocol time_reversal(const Protocol& p) {
+  Protocol out;
+  out.n = p.n;
+  out.mode = p.mode;
+  out.rounds.reserve(p.rounds.size());
+  for (auto it = p.rounds.rbegin(); it != p.rounds.rend(); ++it) {
+    Round r;
+    r.arcs.reserve(it->arcs.size());
+    for (const Arc& a : it->arcs) r.arcs.push_back(graph::reversed(a));
+    r.canonicalize();
+    out.rounds.push_back(std::move(r));
+  }
+  return out;
+}
+
+Protocol concatenate(const Protocol& a, const Protocol& b) {
+  if (a.n != b.n || a.mode != b.mode)
+    throw std::invalid_argument("concatenate: protocols must share n and mode");
+  Protocol out = a;
+  out.rounds.insert(out.rounds.end(), b.rounds.begin(), b.rounds.end());
+  return out;
+}
+
+int product_index(int u, int w, int n_first) noexcept { return u + w * n_first; }
+
+Protocol cartesian_lift(const Protocol& p, int other_n, ProductCoordinate coord) {
+  if (other_n < 1)
+    throw std::invalid_argument("cartesian_lift: other factor must be non-empty");
+  Protocol out;
+  out.n = p.n * other_n;
+  out.mode = p.mode;
+  out.rounds.reserve(p.rounds.size());
+  const int n_first = coord == ProductCoordinate::kFirst ? p.n : other_n;
+  for (const Round& round : p.rounds) {
+    Round lifted;
+    lifted.arcs.reserve(round.arcs.size() * static_cast<std::size_t>(other_n));
+    for (int w = 0; w < other_n; ++w) {
+      for (const Arc& a : round.arcs) {
+        if (coord == ProductCoordinate::kFirst)
+          lifted.arcs.push_back(
+              {product_index(a.tail, w, n_first), product_index(a.head, w, n_first)});
+        else
+          lifted.arcs.push_back(
+              {product_index(w, a.tail, n_first), product_index(w, a.head, n_first)});
+      }
+    }
+    lifted.canonicalize();
+    out.rounds.push_back(std::move(lifted));
+  }
+  return out;
+}
+
+Protocol sequential_product(const Protocol& a, const Protocol& b) {
+  if (a.mode != b.mode)
+    throw std::invalid_argument("sequential_product: protocols must share mode");
+  const Protocol lift_a = cartesian_lift(a, b.n, ProductCoordinate::kFirst);
+  const Protocol lift_b = cartesian_lift(b, a.n, ProductCoordinate::kSecond);
+  return concatenate(lift_a, lift_b);
+}
+
+}  // namespace sysgo::protocol

@@ -1,0 +1,39 @@
+// Protocol transformations.
+//
+// * time_reversal    — reverse round order and flip every arc; a protocol
+//   achieves gossip iff its reversal does (path duality of Def. 3.1).
+// * concatenate      — run one protocol after another.
+// * cartesian_lift   — lift a protocol on G to G x H by acting on one
+//   coordinate (all fibers simultaneously; matchings stay matchings).
+// * sequential_product — gossip protocol for the Cartesian product G x H
+//   from gossip protocols on the factors (accumulate along G, then along H).
+#pragma once
+
+#include "protocol/protocol.hpp"
+#include "protocol/systolic.hpp"
+
+namespace sysgo::protocol {
+
+/// Reverse time and arc directions.
+[[nodiscard]] Protocol time_reversal(const Protocol& p);
+
+/// a's rounds followed by b's rounds; n and mode must match.
+[[nodiscard]] Protocol concatenate(const Protocol& a, const Protocol& b);
+
+/// Which coordinate of the product a lifted protocol acts on.
+enum class ProductCoordinate { kFirst, kSecond };
+
+/// Vertex (u, w) of G x H has index u + w·|G| (first coordinate fastest).
+[[nodiscard]] int product_index(int u, int w, int n_first) noexcept;
+
+/// Lift p (a protocol on the chosen factor) to the product with the other
+/// factor of size `other_n`: each round activates p's arcs in every fiber.
+[[nodiscard]] Protocol cartesian_lift(const Protocol& p, int other_n,
+                                      ProductCoordinate coord);
+
+/// Gossip protocol on G x H from gossip protocols on G and on H
+/// (runs the lifted a, then the lifted b); achieves gossip whenever both
+/// factors' protocols do.
+[[nodiscard]] Protocol sequential_product(const Protocol& a, const Protocol& b);
+
+}  // namespace sysgo::protocol

@@ -1,0 +1,84 @@
+#include "simulator/broadcast_sim.hpp"
+
+#include <algorithm>
+
+#include "simulator/gossip_sim.hpp"
+
+namespace sysgo::simulator {
+namespace {
+
+// Single-item propagation: informed set evolves round by round.
+// Pre-round snapshot semantics: heads are collected against the state at
+// the beginning of the round, then marked, so a vertex informed this round
+// does not forward within the same round.  Works for both duplex modes
+// (full-duplex pairs are two opposite arcs evaluated independently).
+std::vector<int> reach_times(int n, const std::vector<const protocol::Round*>& rounds,
+                             int src) {
+  std::vector<int> reach(static_cast<std::size_t>(n), -1);
+  reach[static_cast<std::size_t>(src)] = 0;
+  int round_no = 0;
+  for (const auto* round : rounds) {
+    ++round_no;
+    std::vector<int> newly;
+    for (const auto& a : round->arcs) {
+      if (reach[static_cast<std::size_t>(a.tail)] != -1 &&
+          reach[static_cast<std::size_t>(a.head)] == -1)
+        newly.push_back(a.head);
+    }
+    for (int v : newly) reach[static_cast<std::size_t>(v)] = round_no;
+  }
+  return reach;
+}
+
+}  // namespace
+
+std::vector<int> broadcast_reach(const protocol::Protocol& p, int src) {
+  std::vector<const protocol::Round*> rounds;
+  rounds.reserve(p.rounds.size());
+  for (const auto& r : p.rounds) rounds.push_back(&r);
+  return reach_times(p.n, rounds, src);
+}
+
+int broadcast_time(const protocol::SystolicSchedule& sched, int src, int max_rounds) {
+  std::vector<int> reach(static_cast<std::size_t>(sched.n), -1);
+  reach[static_cast<std::size_t>(src)] = 0;
+  int informed = 1;
+  for (int i = 1; i <= max_rounds; ++i) {
+    const auto& round = sched.round_at(i);
+    // Pre-round snapshot: collect heads first, then mark, so a vertex
+    // informed this round does not forward within the same round.
+    std::vector<int> newly;
+    for (const auto& a : round.arcs)
+      if (reach[static_cast<std::size_t>(a.tail)] != -1 &&
+          reach[static_cast<std::size_t>(a.head)] == -1)
+        newly.push_back(a.head);
+    for (int v : newly) reach[static_cast<std::size_t>(v)] = i;
+    informed += static_cast<int>(newly.size());
+    if (informed == sched.n) return i;
+  }
+  return -1;
+}
+
+bool achieves_gossip(const protocol::Protocol& p) {
+  simulator::GossipResult res = run_gossip(p);
+  return res.complete;
+}
+
+std::vector<std::vector<int>> arrival_times(const protocol::Protocol& p) {
+  std::vector<std::vector<int>> out;
+  out.reserve(static_cast<std::size_t>(p.n));
+  for (int src = 0; src < p.n; ++src) out.push_back(broadcast_reach(p, src));
+  return out;
+}
+
+int gossip_completion_from_arrivals(const std::vector<std::vector<int>>& arrivals) {
+  int worst = 0;
+  for (const auto& row : arrivals)
+    for (int t : row) {
+      if (t == -1) return -1;
+      worst = std::max(worst, t);
+    }
+  return worst;
+}
+
+}  // namespace sysgo::simulator

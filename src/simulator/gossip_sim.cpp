@@ -1,0 +1,96 @@
+#include "simulator/gossip_sim.hpp"
+
+#include "util/parallel.hpp"
+
+namespace sysgo::simulator {
+
+void apply_round(KnowledgeMatrix& know, const protocol::Round& round,
+                 protocol::Mode mode, bool parallel) {
+  if (mode == protocol::Mode::kFullDuplex) {
+    // Each unordered pair appears as two opposite arcs; merge once per pair.
+    auto merge = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto& a = round.arcs[i];
+        if (a.tail < a.head) know.merge_both(a.tail, a.head);
+      }
+    };
+    if (parallel)
+      util::parallel_for_blocks(0, round.arcs.size(), merge, 512);
+    else
+      merge(0, round.arcs.size());
+  } else {
+    // Matching: heads are distinct and no head is also a tail, so merges
+    // are independent.
+    auto merge = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto& a = round.arcs[i];
+        know.merge_into(a.head, a.tail);
+      }
+    };
+    if (parallel)
+      util::parallel_for_blocks(0, round.arcs.size(), merge, 512);
+    else
+      merge(0, round.arcs.size());
+  }
+}
+
+namespace {
+
+GossipResult finish(const KnowledgeMatrix& know, bool complete, int executed,
+                    int completion_round, std::vector<int> vertex_completion) {
+  GossipResult res;
+  res.complete = complete;
+  res.rounds_executed = executed;
+  res.completion_round = complete ? completion_round : 0;
+  res.vertex_completion = std::move(vertex_completion);
+  res.final_counts.reserve(static_cast<std::size_t>(know.size()));
+  for (int v = 0; v < know.size(); ++v) res.final_counts.push_back(know.count(v));
+  return res;
+}
+
+}  // namespace
+
+GossipResult run_gossip(const protocol::Protocol& p, const GossipOptions& opts) {
+  KnowledgeMatrix know(p.n);
+  std::vector<int> vertex_completion;
+  if (opts.track_completion) vertex_completion.assign(static_cast<std::size_t>(p.n), -1);
+
+  int incomplete = 0;
+  for (int v = 0; v < p.n; ++v)
+    if (!know.row_full(v)) ++incomplete;
+  if (opts.track_completion)
+    for (int v = 0; v < p.n; ++v)
+      if (know.row_full(v)) vertex_completion[static_cast<std::size_t>(v)] = 0;
+
+  int round_no = 0;
+  for (const auto& round : p.rounds) {
+    ++round_no;
+    apply_round(know, round, p.mode, opts.parallel);
+    // Only endpoints of this round's arcs can change state.
+    for (const auto& a : round.arcs) {
+      for (int v : {a.tail, a.head}) {
+        if (opts.track_completion &&
+            vertex_completion[static_cast<std::size_t>(v)] == -1 &&
+            know.row_full(v))
+          vertex_completion[static_cast<std::size_t>(v)] = round_no;
+      }
+    }
+    if (know.all_full())
+      return finish(know, true, round_no, round_no, std::move(vertex_completion));
+  }
+  return finish(know, know.all_full(), round_no, round_no,
+                std::move(vertex_completion));
+}
+
+int gossip_time(const protocol::SystolicSchedule& sched, int max_rounds,
+                const GossipOptions& opts) {
+  KnowledgeMatrix know(sched.n);
+  if (know.all_full()) return 0;  // n == 1
+  for (int i = 1; i <= max_rounds; ++i) {
+    apply_round(know, sched.round_at(i), sched.mode, opts.parallel);
+    if (know.all_full()) return i;
+  }
+  return -1;
+}
+
+}  // namespace sysgo::simulator

@@ -1,0 +1,55 @@
+#include "simulator/knowledge.hpp"
+
+#include <bit>
+
+namespace sysgo::simulator {
+
+KnowledgeMatrix::KnowledgeMatrix(int n)
+    : n_(n),
+      words_((static_cast<std::size_t>(n) + 63) / 64),
+      bits_(static_cast<std::size_t>(n) * words_, 0) {
+  for (int v = 0; v < n; ++v) learn(v, v);  // each processor starts with its item
+}
+
+bool KnowledgeMatrix::knows(int v, int i) const noexcept {
+  return (row_ptr(v)[static_cast<std::size_t>(i) / 64] >>
+          (static_cast<std::size_t>(i) % 64)) & 1u;
+}
+
+void KnowledgeMatrix::learn(int v, int i) noexcept {
+  row_ptr(v)[static_cast<std::size_t>(i) / 64] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(i) % 64);
+}
+
+void KnowledgeMatrix::merge_into(int dst, int src) noexcept {
+  std::uint64_t* d = row_ptr(dst);
+  const std::uint64_t* s = row_ptr(src);
+  for (std::size_t w = 0; w < words_; ++w) d[w] |= s[w];
+}
+
+void KnowledgeMatrix::merge_both(int a, int b) noexcept {
+  std::uint64_t* ra = row_ptr(a);
+  std::uint64_t* rb = row_ptr(b);
+  for (std::size_t w = 0; w < words_; ++w) {
+    const std::uint64_t u = ra[w] | rb[w];
+    ra[w] = u;
+    rb[w] = u;
+  }
+}
+
+int KnowledgeMatrix::count(int v) const noexcept {
+  int c = 0;
+  const std::uint64_t* r = row_ptr(v);
+  for (std::size_t w = 0; w < words_; ++w) c += std::popcount(r[w]);
+  return c;
+}
+
+bool KnowledgeMatrix::row_full(int v) const noexcept { return count(v) == n_; }
+
+bool KnowledgeMatrix::all_full() const noexcept {
+  for (int v = 0; v < n_; ++v)
+    if (!row_full(v)) return false;
+  return true;
+}
+
+}  // namespace sysgo::simulator

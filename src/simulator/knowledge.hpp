@@ -1,0 +1,56 @@
+// Knowledge state of a gossip run: one bitset row per processor recording
+// which of the n items it currently holds.  Rows are 64-bit word packed so
+// a round's merges are word-parallel OR loops.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sysgo::simulator {
+
+class KnowledgeMatrix {
+ public:
+  explicit KnowledgeMatrix(int n);
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+
+  /// Does vertex v know item i?
+  [[nodiscard]] bool knows(int v, int i) const noexcept;
+
+  /// Grant item i to vertex v.
+  void learn(int v, int i) noexcept;
+
+  /// dst's row |= src's row.
+  void merge_into(int dst, int src) noexcept;
+
+  /// Symmetric merge: both rows become their union (full-duplex exchange).
+  void merge_both(int a, int b) noexcept;
+
+  /// Number of items vertex v knows.
+  [[nodiscard]] int count(int v) const noexcept;
+
+  /// Vertex v knows all n items.
+  [[nodiscard]] bool row_full(int v) const noexcept;
+
+  /// All vertices know all items.
+  [[nodiscard]] bool all_full() const noexcept;
+
+  [[nodiscard]] std::span<const std::uint64_t> row(int v) const noexcept {
+    return {bits_.data() + static_cast<std::size_t>(v) * words_, words_};
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t* row_ptr(int v) noexcept {
+    return bits_.data() + static_cast<std::size_t>(v) * words_;
+  }
+  [[nodiscard]] const std::uint64_t* row_ptr(int v) const noexcept {
+    return bits_.data() + static_cast<std::size_t>(v) * words_;
+  }
+
+  int n_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace sysgo::simulator

@@ -1,0 +1,31 @@
+// Butterfly digraph BF(d, D).
+//
+// Vertices are pairs (x, l) with x a word of length D over {0..d-1} and
+// level l in {0..D}; n = (D+1)·d^D.  A vertex (x, l) with l > 0 is joined by
+// opposite arcs to the d vertices obtained by replacing digit l−1 of x
+// (paper Section 3).  BF is symmetric by definition.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::topology {
+
+/// Number of vertices (D+1)·d^D.
+[[nodiscard]] std::int64_t butterfly_order(int d, int D) noexcept;
+
+/// Dense index of vertex (word, level): level·d^D + word.
+[[nodiscard]] int butterfly_index(std::int64_t word, int level, int d, int D) noexcept;
+
+/// Inverse of butterfly_index.
+struct ButterflyVertex {
+  std::int64_t word;
+  int level;
+};
+[[nodiscard]] ButterflyVertex butterfly_vertex(int index, int d, int D) noexcept;
+
+/// The (symmetric) Butterfly digraph.
+[[nodiscard]] graph::Digraph butterfly(int d, int D);
+
+}  // namespace sysgo::topology

@@ -1,0 +1,39 @@
+#include "topology/ccc.hpp"
+
+#include <stdexcept>
+
+namespace sysgo::topology {
+
+std::int64_t ccc_order(int D) noexcept {
+  return static_cast<std::int64_t>(D) << D;
+}
+
+int ccc_index(std::int64_t word, int position, int D) noexcept {
+  return static_cast<int>((static_cast<std::int64_t>(position) << D) + word);
+}
+
+CccVertex ccc_vertex(int index, int D) noexcept {
+  const std::int64_t words = std::int64_t{1} << D;
+  return {index % words, static_cast<int>(index / words)};
+}
+
+graph::Digraph cube_connected_cycles(int D) {
+  if (D < 3 || D > 20)
+    throw std::invalid_argument("cube_connected_cycles: need 3 <= D <= 20");
+  const std::int64_t n = ccc_order(D);
+  if (n > (1 << 24)) throw std::invalid_argument("cube_connected_cycles: too large");
+  graph::Digraph g(static_cast<int>(n));
+  const std::int64_t words = std::int64_t{1} << D;
+  for (int p = 0; p < D; ++p) {
+    for (std::int64_t w = 0; w < words; ++w) {
+      const int u = ccc_index(w, p, D);
+      g.add_edge(u, ccc_index(w, (p + 1) % D, D));        // cycle edge
+      const std::int64_t flipped = w ^ (std::int64_t{1} << p);
+      if (flipped > w) g.add_edge(u, ccc_index(flipped, p, D));  // rung
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace sysgo::topology

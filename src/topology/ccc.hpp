@@ -1,0 +1,29 @@
+// Cube-Connected Cycles CCC(D).
+//
+// Vertices (w, p): w a D-bit word, p a cursor position in {0..D-1};
+// n = D·2^D.  Edges: cycle edges (w, p) ~ (w, p±1 mod D) and hypercube
+// rungs (w, p) ~ (w xor 2^p, p).  A constant-degree (3) relative of the
+// hypercube — included because the systolic-gossip literature treats it
+// alongside Butterfly-class networks.
+#pragma once
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::topology {
+
+/// Number of vertices D·2^D.
+[[nodiscard]] std::int64_t ccc_order(int D) noexcept;
+
+/// Dense index of (word, position): position·2^D + word.
+[[nodiscard]] int ccc_index(std::int64_t word, int position, int D) noexcept;
+
+struct CccVertex {
+  std::int64_t word;
+  int position;
+};
+[[nodiscard]] CccVertex ccc_vertex(int index, int D) noexcept;
+
+/// The (symmetric) cube-connected cycles graph; requires D >= 3.
+[[nodiscard]] graph::Digraph cube_connected_cycles(int D);
+
+}  // namespace sysgo::topology

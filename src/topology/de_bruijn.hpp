@@ -1,0 +1,24 @@
+// de Bruijn digraph DB(d, D).
+//
+// Vertices: all d^D words of length D over {0..d-1}.  Word x_{D-1}…x_0 has
+// arcs to the d words x_{D-2}…x_0·a (left shift, append a).  The undirected
+// graph DB(d, D) is the symmetric closure.  Constant words (e.g. 00…0) have
+// self-loops; those arcs are kept in the digraph but are never usable by a
+// protocol (a self-loop is not a matching arc).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::topology {
+
+[[nodiscard]] std::int64_t de_bruijn_order(int d, int D) noexcept;
+
+/// Directed de Bruijn DB→(d, D); vertex index = word value in base d.
+[[nodiscard]] graph::Digraph de_bruijn_directed(int d, int D);
+
+/// Undirected de Bruijn DB(d, D).
+[[nodiscard]] graph::Digraph de_bruijn(int d, int D);
+
+}  // namespace sysgo::topology

@@ -1,0 +1,74 @@
+#include "topology/kautz.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "topology/words.hpp"
+
+namespace sysgo::topology {
+namespace {
+
+// Pack a word over alphabet {0..d} into an int64 key (base d+1).
+std::int64_t pack(const std::vector<int>& w, int d) {
+  std::int64_t key = 0;
+  for (std::size_t i = w.size(); i-- > 0;) key = key * (d + 1) + w[i];
+  return key;
+}
+
+}  // namespace
+
+std::int64_t kautz_order(int d, int D) noexcept {
+  return static_cast<std::int64_t>(d + 1) * ipow(d, D - 1);
+}
+
+std::vector<std::vector<int>> kautz_words(int d, int D) {
+  std::vector<std::vector<int>> words;
+  words.reserve(static_cast<std::size_t>(kautz_order(d, D)));
+  // Enumerate left-to-right (from digit D-1 down to 0), lexicographically.
+  std::vector<int> cur(static_cast<std::size_t>(D));
+  auto rec = [&](auto&& self, int pos) -> void {  // pos: D-1 .. 0
+    if (pos < 0) {
+      words.push_back(cur);
+      return;
+    }
+    for (int a = 0; a <= d; ++a) {
+      if (pos < D - 1 && a == cur[static_cast<std::size_t>(pos) + 1]) continue;
+      cur[static_cast<std::size_t>(pos)] = a;
+      self(self, pos - 1);
+    }
+  };
+  rec(rec, D - 1);
+  return words;
+}
+
+graph::Digraph kautz_directed(int d, int D) {
+  if (d < 2 || D < 1) throw std::invalid_argument("kautz: need d >= 2, D >= 1");
+  const std::int64_t n = kautz_order(d, D);
+  if (n > (1 << 24)) throw std::invalid_argument("kautz: too large");
+
+  const auto words = kautz_words(d, D);
+  std::unordered_map<std::int64_t, int> index;
+  index.reserve(words.size() * 2);
+  for (std::size_t i = 0; i < words.size(); ++i)
+    index.emplace(pack(words[i], d), static_cast<int>(i));
+
+  graph::Digraph g(static_cast<int>(n));
+  std::vector<int> next(static_cast<std::size_t>(D));
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const auto& w = words[i];
+    // Left shift: next = x_{D-2} ... x_0 a; digit j of next = digit j-1 of w.
+    for (int j = D - 1; j >= 1; --j)
+      next[static_cast<std::size_t>(j)] = w[static_cast<std::size_t>(j) - 1];
+    for (int a = 0; a <= d; ++a) {
+      if (a == w[0]) continue;
+      next[0] = a;
+      g.add_arc(static_cast<int>(i), index.at(pack(next, d)));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+graph::Digraph kautz(int d, int D) { return kautz_directed(d, D).symmetric_closure(); }
+
+}  // namespace sysgo::topology

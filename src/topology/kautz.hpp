@@ -1,0 +1,28 @@
+// Kautz digraph K(d, D).
+//
+// Vertices: words of length D over {0..d} (alphabet size d+1) in which
+// adjacent letters differ; n = (d+1)·d^{D-1}.  Word x_{D-1}…x_0 has arcs to
+// the d words x_{D-2}…x_0·a with a ≠ x_0.  The undirected K(d, D) is the
+// symmetric closure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::topology {
+
+[[nodiscard]] std::int64_t kautz_order(int d, int D) noexcept;
+
+/// All valid Kautz words as digit vectors (index i of the outer vector is
+/// the dense vertex id; inner digit 0 is least significant/rightmost).
+[[nodiscard]] std::vector<std::vector<int>> kautz_words(int d, int D);
+
+/// Directed Kautz digraph K→(d, D).
+[[nodiscard]] graph::Digraph kautz_directed(int d, int D);
+
+/// Undirected Kautz graph K(d, D).
+[[nodiscard]] graph::Digraph kautz(int d, int D);
+
+}  // namespace sysgo::topology

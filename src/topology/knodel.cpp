@@ -1,0 +1,33 @@
+#include "topology/knodel.hpp"
+
+#include <stdexcept>
+
+namespace sysgo::topology {
+
+int knodel_index(int side, int j) noexcept { return 2 * j + side; }
+
+KnodelVertex knodel_vertex(int index) noexcept { return {index % 2, index / 2}; }
+
+int knodel_max_delta(int n) noexcept {
+  int d = 0;
+  while ((2 << d) <= n) ++d;  // 2^{d+1} <= n  <=>  d+1 <= log2 n
+  return d;
+}
+
+graph::Digraph knodel(int delta, int n) {
+  if (n < 2 || n % 2 != 0)
+    throw std::invalid_argument("knodel: n must be even and >= 2");
+  if (delta < 1 || delta > knodel_max_delta(n))
+    throw std::invalid_argument("knodel: need 1 <= delta <= floor(log2(n))");
+  graph::Digraph g(n);
+  const int half = n / 2;
+  for (int k = 0; k < delta; ++k) {
+    const int shift = ((1 << k) - 1) % half;
+    for (int j = 0; j < half; ++j)
+      g.add_edge(knodel_index(0, j), knodel_index(1, (j + shift) % half));
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace sysgo::topology

@@ -1,0 +1,30 @@
+// Knödel graph W(Δ, n).
+//
+// The classical minimal-gossip family: for even n, vertices (side, j) with
+// side ∈ {0, 1}, j ∈ {0..n/2−1}; dimension-k edges (k = 0..Δ−1) join
+// (0, j) to (1, (j + 2^k − 1) mod n/2).  With Δ = ⌊log2 n⌋ these graphs
+// gossip in the optimal ⌈log2 n⌉ full-duplex rounds — the natural
+// upper-bound companion to the paper's lower bounds on complete-ish
+// networks.
+#pragma once
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::topology {
+
+/// Dense index of (side, j): 2j + side.
+[[nodiscard]] int knodel_index(int side, int j) noexcept;
+
+struct KnodelVertex {
+  int side;
+  int j;
+};
+[[nodiscard]] KnodelVertex knodel_vertex(int index) noexcept;
+
+/// W(delta, n); requires n even, n >= 2, 1 <= delta <= floor(log2(n)).
+[[nodiscard]] graph::Digraph knodel(int delta, int n);
+
+/// Largest admissible dimension floor(log2(n)).
+[[nodiscard]] int knodel_max_delta(int n) noexcept;
+
+}  // namespace sysgo::topology

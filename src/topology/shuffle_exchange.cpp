@@ -1,0 +1,31 @@
+#include "topology/shuffle_exchange.hpp"
+
+#include <stdexcept>
+
+namespace sysgo::topology {
+
+std::int64_t cyclic_shift_left(std::int64_t word, int D) noexcept {
+  const std::int64_t mask = (std::int64_t{1} << D) - 1;
+  return ((word << 1) & mask) | ((word >> (D - 1)) & 1);
+}
+
+graph::Digraph shuffle_exchange_directed(int D) {
+  if (D < 2 || D > 24)
+    throw std::invalid_argument("shuffle_exchange: need 2 <= D <= 24");
+  const std::int64_t n = std::int64_t{1} << D;
+  graph::Digraph g(static_cast<int>(n));
+  for (std::int64_t w = 0; w < n; ++w) {
+    g.add_edge(static_cast<int>(w), static_cast<int>(w ^ 1));  // exchange
+    const std::int64_t shuffled = cyclic_shift_left(w, D);
+    if (shuffled != w)  // constant words shuffle to themselves
+      g.add_arc(static_cast<int>(w), static_cast<int>(shuffled));
+  }
+  g.finalize();
+  return g;
+}
+
+graph::Digraph shuffle_exchange(int D) {
+  return shuffle_exchange_directed(D).symmetric_closure();
+}
+
+}  // namespace sysgo::topology

@@ -1,0 +1,21 @@
+// Shuffle-Exchange network SE(D).
+//
+// Vertices: D-bit words.  Edges: exchange (w ~ w xor 1) and shuffle
+// (w -> cyclic left shift of w).  Degree <= 3; the de Bruijn graph is its
+// quotient, and [25] treats gossiping on both families together.
+#pragma once
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::topology {
+
+/// Cyclic left shift of a D-bit word.
+[[nodiscard]] std::int64_t cyclic_shift_left(std::int64_t word, int D) noexcept;
+
+/// Directed shuffle-exchange: exchange arcs both ways, shuffle arcs forward.
+[[nodiscard]] graph::Digraph shuffle_exchange_directed(int D);
+
+/// Undirected shuffle-exchange (symmetric closure).
+[[nodiscard]] graph::Digraph shuffle_exchange(int D);
+
+}  // namespace sysgo::topology

@@ -1,0 +1,51 @@
+#include "topology/topology.hpp"
+
+#include <stdexcept>
+
+#include "topology/butterfly.hpp"
+#include "topology/de_bruijn.hpp"
+#include "topology/kautz.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace sysgo::topology {
+
+std::string family_name(Family f, int d) {
+  const std::string ds = std::to_string(d);
+  switch (f) {
+    case Family::kButterfly: return "BF(" + ds + ",D)";
+    case Family::kWrappedButterflyDirected: return "WBF->(" + ds + ",D)";
+    case Family::kWrappedButterfly: return "WBF(" + ds + ",D)";
+    case Family::kDeBruijnDirected: return "DB->(" + ds + ",D)";
+    case Family::kDeBruijn: return "DB(" + ds + ",D)";
+    case Family::kKautzDirected: return "K->(" + ds + ",D)";
+    case Family::kKautz: return "K(" + ds + ",D)";
+  }
+  throw std::invalid_argument("family_name: unknown family");
+}
+
+graph::Digraph make_family(Family f, int d, int D) {
+  switch (f) {
+    case Family::kButterfly: return butterfly(d, D);
+    case Family::kWrappedButterflyDirected: return wrapped_butterfly_directed(d, D);
+    case Family::kWrappedButterfly: return wrapped_butterfly(d, D);
+    case Family::kDeBruijnDirected: return de_bruijn_directed(d, D);
+    case Family::kDeBruijn: return de_bruijn(d, D);
+    case Family::kKautzDirected: return kautz_directed(d, D);
+    case Family::kKautz: return kautz(d, D);
+  }
+  throw std::invalid_argument("make_family: unknown family");
+}
+
+bool family_is_symmetric(Family f) noexcept {
+  switch (f) {
+    case Family::kButterfly:
+    case Family::kWrappedButterfly:
+    case Family::kDeBruijn:
+    case Family::kKautz:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace sysgo::topology

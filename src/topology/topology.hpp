@@ -1,0 +1,34 @@
+// Unified registry over the paper's network families.
+//
+// Benches/examples iterate "all families the paper tabulates"; this header
+// gives them a single factory plus the family metadata (name, degree
+// parameter d, dimension D) used in table rows.
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::topology {
+
+/// Families appearing in Figs. 5, 6 and 8 of the paper.
+enum class Family {
+  kButterfly,                 // BF(d, D), symmetric
+  kWrappedButterflyDirected,  // WBF→(d, D)
+  kWrappedButterfly,          // WBF(d, D), undirected
+  kDeBruijnDirected,          // DB→(d, D)
+  kDeBruijn,                  // DB(d, D), undirected
+  kKautzDirected,             // K→(d, D)
+  kKautz,                     // K(d, D), undirected
+};
+
+/// Short display name matching the paper's notation, e.g. "WBF(2,D)".
+[[nodiscard]] std::string family_name(Family f, int d);
+
+/// Instantiate the family at dimension D.
+[[nodiscard]] graph::Digraph make_family(Family f, int d, int D);
+
+/// True for families whose digraph is symmetric (undirected networks).
+[[nodiscard]] bool family_is_symmetric(Family f) noexcept;
+
+}  // namespace sysgo::topology

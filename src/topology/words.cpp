@@ -1,0 +1,35 @@
+#include "topology/words.hpp"
+
+namespace sysgo::topology {
+
+std::int64_t ipow(int d, int e) noexcept {
+  std::int64_t r = 1;
+  for (int i = 0; i < e; ++i) r *= d;
+  return r;
+}
+
+int digit(std::int64_t word, int i, int d) noexcept {
+  return static_cast<int>((word / ipow(d, i)) % d);
+}
+
+std::int64_t with_digit(std::int64_t word, int i, int v, int d) noexcept {
+  const std::int64_t p = ipow(d, i);
+  return word + (v - digit(word, i, d)) * p;
+}
+
+std::vector<int> digits_of(std::int64_t word, int D, int d) {
+  std::vector<int> out(static_cast<std::size_t>(D));
+  for (int i = 0; i < D; ++i) {
+    out[static_cast<std::size_t>(i)] = static_cast<int>(word % d);
+    word /= d;
+  }
+  return out;
+}
+
+std::int64_t word_of(const std::vector<int>& digits, int d) {
+  std::int64_t w = 0;
+  for (std::size_t i = digits.size(); i-- > 0;) w = w * d + digits[i];
+  return w;
+}
+
+}  // namespace sysgo::topology

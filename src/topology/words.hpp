@@ -1,0 +1,29 @@
+// Helpers for word-indexed vertex families.
+//
+// Butterfly / de Bruijn / Kautz vertices are strings ("words") over a small
+// alphabet; these helpers convert between word digits and dense indices.
+// Digit 0 of a word is the least significant (x_0 in the paper's
+// x_{D-1} x_{D-2} ... x_1 x_0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sysgo::topology {
+
+/// d^e as a 64-bit integer (small exponents only).
+[[nodiscard]] std::int64_t ipow(int d, int e) noexcept;
+
+/// Digit i (0 = least significant) of `word` in base d.
+[[nodiscard]] int digit(std::int64_t word, int i, int d) noexcept;
+
+/// `word` with digit i replaced by v (0 <= v < d).
+[[nodiscard]] std::int64_t with_digit(std::int64_t word, int i, int v, int d) noexcept;
+
+/// All D digits of `word`, index 0 = least significant.
+[[nodiscard]] std::vector<int> digits_of(std::int64_t word, int D, int d);
+
+/// Inverse of digits_of.
+[[nodiscard]] std::int64_t word_of(const std::vector<int>& digits, int d);
+
+}  // namespace sysgo::topology

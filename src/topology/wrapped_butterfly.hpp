@@ -1,0 +1,36 @@
+// Wrapped Butterfly WBF(d, D).
+//
+// Vertices (x, l) with l in {0..D-1}; n = D·d^D.  Directed version
+// (paper's WBF→(d,D)): (x, l) with l > 0 has arcs to the d vertices with
+// digit l−1 replaced, at level l−1; (x, 0) has arcs to the d vertices with
+// digit D−1 replaced, at level D−1.  The undirected WBF(d, D) is the
+// symmetric closure.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::topology {
+
+/// Number of vertices D·d^D.
+[[nodiscard]] std::int64_t wrapped_butterfly_order(int d, int D) noexcept;
+
+/// Dense index of (word, level): level·d^D + word.
+[[nodiscard]] int wrapped_butterfly_index(std::int64_t word, int level, int d,
+                                          int D) noexcept;
+
+struct WrappedButterflyVertex {
+  std::int64_t word;
+  int level;
+};
+[[nodiscard]] WrappedButterflyVertex wrapped_butterfly_vertex(int index, int d,
+                                                              int D) noexcept;
+
+/// Directed Wrapped Butterfly WBF→(d, D).
+[[nodiscard]] graph::Digraph wrapped_butterfly_directed(int d, int D);
+
+/// Undirected Wrapped Butterfly WBF(d, D) (symmetric closure).
+[[nodiscard]] graph::Digraph wrapped_butterfly(int d, int D);
+
+}  // namespace sysgo::topology

@@ -1,0 +1,49 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace sysgo::util {
+
+unsigned hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+void parallel_for_blocks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t min_grain) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const unsigned hw = hardware_threads();
+  if (hw <= 1 || total < min_grain) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t workers =
+      std::min<std::size_t>(hw, (total + min_grain - 1) / min_grain);
+  const std::size_t chunk = (total + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&body, lo, hi] { body(lo, hi); });
+  }
+  for (auto& t : pool) t.join();
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_grain) {
+  parallel_for_blocks(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      min_grain);
+}
+
+}  // namespace sysgo::util

@@ -1,0 +1,34 @@
+// Minimal shared-memory parallel loop utilities.
+//
+// The simulator and the power-iteration kernels are embarrassingly parallel
+// over rows/arcs; a fork-join parallel_for over std::thread is all we need
+// (no external runtime).  Work is split into contiguous blocks, one per
+// worker, so iteration order inside a block is cache friendly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace sysgo::util {
+
+/// Number of worker threads used by parallel_for (>= 1).
+/// Defaults to std::thread::hardware_concurrency().
+[[nodiscard]] unsigned hardware_threads() noexcept;
+
+/// Invoke body(i) for every i in [begin, end), possibly in parallel.
+///
+/// Falls back to a serial loop when the range is smaller than `min_grain`
+/// or when only one hardware thread is available.  body must be safe to
+/// invoke concurrently for distinct i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_grain = 1024);
+
+/// Block-wise variant: body(block_begin, block_end) per worker block.
+/// Preferred for tight numeric kernels (avoids one std::function call
+/// per element).
+void parallel_for_blocks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t min_grain = 1024);
+
+}  // namespace sysgo::util

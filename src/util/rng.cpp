@@ -1,0 +1,25 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sysgo::util {
+
+int Rng::uniform_int(int lo, int hi) {
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+double Rng::uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+bool Rng::flip(double p) { return uniform01() < p; }
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), engine_);
+  return perm;
+}
+
+}  // namespace sysgo::util

@@ -1,0 +1,37 @@
+// Deterministic random number helpers.
+//
+// All randomized components (random protocols, property-test sweeps) take an
+// explicit Rng so runs are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sysgo::util {
+
+/// Thin wrapper over std::mt19937_64 with the handful of draws we need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5397a11cULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] int uniform_int(int lo, int hi);
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform01();
+
+  /// Bernoulli draw with probability p of true.
+  [[nodiscard]] bool flip(double p = 0.5);
+
+  /// Random permutation of {0, ..., n-1}.
+  [[nodiscard]] std::vector<int> permutation(int n);
+
+  /// Underlying engine, for std::shuffle and distributions.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sysgo::util

@@ -1,0 +1,36 @@
+// Fixed-width text tables for the benchmark harnesses and examples.
+//
+// Every bench binary reprints a figure/table from the paper; this keeps the
+// formatting in one place so rows line up and numbers use a consistent
+// precision.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sysgo::util {
+
+/// Column-aligned text table.  Usage:
+///   Table t({"s", "e(s)"});
+///   t.add_row({"3", format_fixed(2.8808, 4)});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline and two-space column gaps.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format v with exactly `digits` decimal places.
+[[nodiscard]] std::string format_fixed(double v, int digits);
+
+}  // namespace sysgo::util

@@ -1,0 +1,87 @@
+#include "analysis/gap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/audit.hpp"
+#include "protocol/classic_protocols.hpp"
+#include "topology/classic.hpp"
+
+namespace sysgo::analysis {
+namespace {
+
+using protocol::Mode;
+
+TEST(Gap, ExactNormBelowAnalyticBoundEverywhere) {
+  const auto sched = protocol::cycle_schedule(8, Mode::kHalfDuplex);
+  for (double lam : {0.4, 0.55, 0.65}) {
+    for (const auto& row : audit_gap_report(sched, lam)) {
+      EXPECT_LE(row.exact_norm, row.analytic_bound + 1e-9)
+          << "vertex " << row.vertex << " lam " << lam;
+      EXPECT_GE(row.gap(), -1e-9);
+    }
+  }
+}
+
+TEST(Gap, RowsSortedByAnalyticBound) {
+  const auto sched = protocol::path_schedule(8, Mode::kHalfDuplex);
+  const auto rows = audit_gap_report(sched, 0.5);
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_GE(rows[i - 1].analytic_bound, rows[i].analytic_bound - 1e-12);
+}
+
+TEST(Gap, PathEndpointsHaveSmallerBoundThanRelays) {
+  const auto sched = protocol::path_schedule(8, Mode::kHalfDuplex);
+  const auto rows = audit_gap_report(sched, 0.5);
+  // Endpoints (vertices 0 and 7) have L = R = 1; interior L = R = 2.
+  double endpoint_bound = 0.0, relay_bound = 0.0;
+  for (const auto& row : rows) {
+    if (row.vertex == 0) endpoint_bound = row.analytic_bound;
+    if (row.vertex == 3) relay_bound = row.analytic_bound;
+  }
+  EXPECT_LT(endpoint_bound, relay_bound);
+}
+
+TEST(Gap, NonRelayingVertexHasZeroNorm) {
+  protocol::SystolicSchedule sched;
+  sched.n = 3;
+  sched.mode = Mode::kHalfDuplex;
+  sched.period = {{{{1, 0}}}, {{{2, 1}}}};  // vertex 2 only sends, 0 only receives
+  EXPECT_DOUBLE_EQ(exact_local_norm(sched, 0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(exact_local_norm(sched, 2, 0.5), 0.0);
+  EXPECT_GT(exact_local_norm(sched, 1, 0.5), 0.0);
+}
+
+TEST(Gap, ExactNormGrowsWithWindow) {
+  const auto sched = protocol::cycle_schedule(8, Mode::kHalfDuplex);
+  const double n2 = exact_local_norm(sched, 0, 0.5, 2);
+  const double n8 = exact_local_norm(sched, 0, 0.5, 8);
+  EXPECT_GE(n8, n2 - 1e-12);
+}
+
+TEST(Gap, FullDuplexReportConsistent) {
+  const auto sched = protocol::hypercube_schedule(3, Mode::kFullDuplex);
+  for (const auto& row : audit_gap_report(sched, 0.5, 6)) {
+    EXPECT_LE(row.exact_norm, row.analytic_bound + 1e-9);
+    // Hypercube schedule keeps every vertex active every round.
+    EXPECT_EQ(row.left_rounds, 3);
+    EXPECT_EQ(row.right_rounds, 3);
+  }
+}
+
+TEST(Gap, BindingVertexMatchesAudit) {
+  const auto sched = protocol::path_schedule(6, Mode::kHalfDuplex);
+  const auto audit = core::audit_schedule(sched);
+  const auto rows = audit_gap_report(sched, audit.lambda_star);
+  // The top row's analytic bound at λ* is the certificate's norm 1.
+  ASSERT_FALSE(rows.empty());
+  EXPECT_NEAR(rows.front().analytic_bound, 1.0, 1e-6);
+}
+
+TEST(Gap, RejectsBadLambda) {
+  const auto sched = protocol::path_schedule(4, Mode::kHalfDuplex);
+  EXPECT_THROW((void)exact_local_norm(sched, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)exact_local_norm(sched, 0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysgo::analysis

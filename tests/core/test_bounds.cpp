@@ -1,0 +1,124 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sysgo::core {
+namespace {
+
+TEST(Bounds, NormBoundFunctionIncreasingInLambda) {
+  for (int s : {3, 4, 5, 8, kUnboundedPeriod})
+    for (auto duplex : {Duplex::kHalf, Duplex::kFull})
+      EXPECT_LT(norm_bound_function(0.3, s, duplex),
+                norm_bound_function(0.6, s, duplex));
+}
+
+TEST(Bounds, LambdaStarSatisfiesEquation) {
+  for (int s : {3, 4, 5, 6, 7, 8, 16, kUnboundedPeriod}) {
+    const double l = lambda_star(s, Duplex::kHalf);
+    EXPECT_NEAR(norm_bound_function(l, s, Duplex::kHalf), 1.0, 1e-9) << "s=" << s;
+    EXPECT_GT(l, 0.0);
+    EXPECT_LT(l, 1.0);
+  }
+}
+
+TEST(Bounds, LambdaStarUnboundedIsInverseGoldenRatio) {
+  const double l = lambda_star(kUnboundedPeriod, Duplex::kHalf);
+  EXPECT_NEAR(l, (std::sqrt(5.0) - 1.0) / 2.0, 1e-10);
+}
+
+// Fig. 4 of the paper, all six quoted digits plus the limit.  The paper
+// truncates (not rounds) to four decimals — e(4) = 1.81336 prints as
+// 1.8133 — so the tolerance is one unit in the fourth decimal.
+TEST(Bounds, Fig4PaperValues) {
+  EXPECT_NEAR(e_general(3, Duplex::kHalf), 2.8808, 1.01e-4);
+  EXPECT_NEAR(e_general(4, Duplex::kHalf), 1.8133, 1.01e-4);
+  EXPECT_NEAR(e_general(5, Duplex::kHalf), 1.6502, 1.01e-4);
+  EXPECT_NEAR(e_general(6, Duplex::kHalf), 1.5363, 1.01e-4);
+  EXPECT_NEAR(e_general(7, Duplex::kHalf), 1.5021, 1.01e-4);
+  EXPECT_NEAR(e_general(8, Duplex::kHalf), 1.4721, 1.01e-4);
+  EXPECT_NEAR(e_general(kUnboundedPeriod, Duplex::kHalf), 1.4404, 1.01e-4);
+}
+
+TEST(Bounds, EGeneralDecreasesInS) {
+  double prev = e_general(3, Duplex::kHalf);
+  for (int s = 4; s <= 20; ++s) {
+    const double cur = e_general(s, Duplex::kHalf);
+    EXPECT_LT(cur, prev) << "s=" << s;
+    prev = cur;
+  }
+  EXPECT_GT(prev, e_general(kUnboundedPeriod, Duplex::kHalf));
+}
+
+TEST(Bounds, HalfDuplexLambdaAboveGoldenRatioInverse) {
+  // λ* decreases with s toward the inverse golden ratio 0.6180 (s -> ∞),
+  // so λ* >= 0.6180 for every finite s.
+  for (int s : {3, 4, 8, 32})
+    EXPECT_GE(lambda_star(s, Duplex::kHalf), 0.61803) << "s=" << s;
+}
+
+TEST(Bounds, FullDuplexPaperValues) {
+  // s = 3: λ + λ² = 1 -> golden section, e = 1.4404 (matches c(2) of [22,2]).
+  EXPECT_NEAR(e_general(3, Duplex::kFull), 1.4404, 5e-5);
+  // s -> ∞: λ/(1-λ) = 1 -> λ = 1/2, e = 1.
+  EXPECT_NEAR(lambda_star(kUnboundedPeriod, Duplex::kFull), 0.5, 1e-10);
+  EXPECT_NEAR(e_general(kUnboundedPeriod, Duplex::kFull), 1.0, 1e-9);
+}
+
+TEST(Bounds, FullDuplexBelowHalfDuplex) {
+  // A full-duplex round is strictly more powerful, so the bound is lower.
+  for (int s : {3, 4, 5, 8, kUnboundedPeriod})
+    EXPECT_LE(e_general(s, Duplex::kFull), e_general(s, Duplex::kHalf) + 1e-12);
+}
+
+TEST(Bounds, SmallPeriodRejected) {
+  EXPECT_THROW((void)lambda_star(2, Duplex::kHalf), std::invalid_argument);
+  EXPECT_THROW((void)lambda_star(0, Duplex::kHalf), std::invalid_argument);
+}
+
+TEST(Bounds, ECoefficient) {
+  EXPECT_NEAR(e_coefficient(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(e_coefficient(0.25), 0.5, 1e-12);
+}
+
+TEST(Bounds, Theorem41RoundBoundBasics) {
+  EXPECT_EQ(theorem41_round_bound(0.5, 1), 0);
+  // λ = 1/2, n = 2^20: t + 2·log2(t) >= log2(n-1)+1 ≈ 21 -> t = 13.
+  const int t = theorem41_round_bound(0.5, 1 << 20);
+  EXPECT_GE(t, 12);
+  EXPECT_LE(t, 20);
+  // Must satisfy the inequality, and t-1 must violate it.
+  const double rhs = std::log2((1 << 20) - 1.0) + 1.0;
+  EXPECT_GE(t * 1.0 + 2.0 * std::log2(t), rhs);
+  EXPECT_LT((t - 1) * 1.0 + 2.0 * std::log2(t - 1.0), rhs);
+}
+
+TEST(Bounds, Theorem41MonotoneInLambdaAndN) {
+  EXPECT_LE(theorem41_round_bound(0.4, 1024), theorem41_round_bound(0.6, 1024));
+  EXPECT_LE(theorem41_round_bound(0.5, 1024), theorem41_round_bound(0.5, 1 << 20));
+}
+
+TEST(Bounds, Theorem41RejectsBadLambda) {
+  EXPECT_THROW((void)theorem41_round_bound(0.0, 16), std::invalid_argument);
+  EXPECT_THROW((void)theorem41_round_bound(1.0, 16), std::invalid_argument);
+}
+
+// Parameterized sweep: F(λ*, s) = 1 and e(s) consistent for a grid of s.
+class BoundsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsSweep, LambdaStarConsistency) {
+  const int s = GetParam();
+  for (auto duplex : {Duplex::kHalf, Duplex::kFull}) {
+    const double l = lambda_star(s, duplex);
+    EXPECT_NEAR(norm_bound_function(l, s, duplex), 1.0, 1e-9);
+    EXPECT_NEAR(e_general(s, duplex), 1.0 / std::log2(1.0 / l), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PeriodGrid, BoundsSweep,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 10, 12, 16, 24, 32, 48,
+                                           64, 100));
+
+}  // namespace
+}  // namespace sysgo::core

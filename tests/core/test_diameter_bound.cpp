@@ -1,0 +1,84 @@
+#include "core/diameter_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/search.hpp"
+#include "topology/classic.hpp"
+#include "topology/de_bruijn.hpp"
+
+namespace sysgo::core {
+namespace {
+
+std::vector<WeightedArc> unit_arcs(const graph::Digraph& g) {
+  std::vector<WeightedArc> out;
+  for (const auto& a : g.arcs()) out.push_back({a.tail, a.head, 1});
+  return out;
+}
+
+TEST(DiameterBound, NormBoundMonotoneInLambda) {
+  const auto arcs = unit_arcs(topology::cycle(8));
+  EXPECT_LT(weighted_norm_bound(arcs, 8, 0.3), weighted_norm_bound(arcs, 8, 0.7));
+}
+
+TEST(DiameterBound, NormBoundRejectsBadInput) {
+  const auto arcs = unit_arcs(topology::cycle(8));
+  EXPECT_THROW((void)weighted_norm_bound(arcs, 8, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)weighted_norm_bound({{0, 1, 0}}, 2, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)weighted_norm_bound({{0, 9, 1}}, 2, 0.5), std::out_of_range);
+}
+
+TEST(DiameterBound, HoldsOnUnitCycles) {
+  for (int n : {8, 16, 32}) {
+    const auto g = topology::cycle(n);
+    const auto res = diameter_bound(unit_arcs(g), n);
+    EXPECT_GT(res.diameter_bound, 0) << "n=" << n;
+    EXPECT_LE(res.diameter_bound, graph::diameter(g)) << "n=" << n;
+  }
+}
+
+TEST(DiameterBound, HoldsOnDeBruijn) {
+  const auto g = topology::de_bruijn_directed(2, 6);
+  const auto res = diameter_bound(unit_arcs(g), g.vertex_count());
+  const int true_diam = graph::diameter(g);
+  EXPECT_GT(res.diameter_bound, 0);
+  EXPECT_LE(res.diameter_bound, true_diam);
+  // Bounded out-degree 2 networks: the technique certifies a constant
+  // fraction of log2(n); here true diam = 6 and the bound reaches >= 3.
+  EXPECT_GE(res.diameter_bound, 3);
+}
+
+TEST(DiameterBound, HoldsOnHypercube) {
+  const auto g = topology::hypercube(5);
+  const auto res = diameter_bound(unit_arcs(g), g.vertex_count());
+  EXPECT_LE(res.diameter_bound, graph::diameter(g));
+}
+
+TEST(DiameterBound, WeightsIncreaseTheBound) {
+  // Doubling every arc weight doubles the true diameter; the certificate
+  // must not decrease.
+  const auto g = topology::cycle(16);
+  std::vector<WeightedArc> unit = unit_arcs(g);
+  std::vector<WeightedArc> heavy = unit;
+  for (auto& a : heavy) a.weight = 3;
+  const int b1 = diameter_bound(unit, 16).diameter_bound;
+  const int b3 = diameter_bound(heavy, 16).diameter_bound;
+  EXPECT_GE(b3, b1);
+  // And stays below the true weighted diameter 3·8.
+  EXPECT_LE(b3, 3 * 8);
+}
+
+TEST(DiameterBound, CompleteGraphGetsOnlyTrivialBound) {
+  // m ~ n², so log2(n(n-1)/m) <= 0: the method certifies nothing beyond 1.
+  const auto g = topology::complete(8);
+  const auto res = diameter_bound(unit_arcs(g), 8);
+  EXPECT_EQ(res.diameter_bound, 1);
+}
+
+TEST(DiameterBound, DegenerateInputs) {
+  EXPECT_EQ(diameter_bound({}, 5).diameter_bound, 0);
+  EXPECT_EQ(diameter_bound({{0, 1, 1}}, 1).diameter_bound, 0);
+}
+
+}  // namespace
+}  // namespace sysgo::core

@@ -1,0 +1,112 @@
+#include "core/separator_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/tables.hpp"
+
+namespace sysgo::core {
+namespace {
+
+using topology::Family;
+
+// The intro's quoted comparisons with half-duplex upper bounds (s = 4).
+TEST(SeparatorBound, PaperQuotedSystolicValues) {
+  EXPECT_NEAR(separator_bound(Family::kWrappedButterfly, 2, 4, Duplex::kHalf).e,
+              2.0218, 5e-4);
+  EXPECT_NEAR(separator_bound(Family::kDeBruijn, 2, 4, Duplex::kHalf).e,
+              1.8133, 5e-4);
+}
+
+// Section 1's non-systolic improvements.
+TEST(SeparatorBound, PaperQuotedNonSystolicValues) {
+  EXPECT_NEAR(
+      separator_bound(Family::kWrappedButterfly, 2, kUnboundedPeriod, Duplex::kHalf).e,
+      1.9750, 5e-4);
+  EXPECT_NEAR(
+      separator_bound(Family::kDeBruijn, 2, kUnboundedPeriod, Duplex::kHalf).e,
+      1.5876, 5e-4);
+}
+
+TEST(SeparatorBound, NeverBelowGeneralBound) {
+  // α·l = 1 for all Lemma 3.1 families, so the boundary λ* recovers e(s).
+  for (const auto& [family, d] : paper_family_list())
+    for (int s : {3, 4, 6, 8, kUnboundedPeriod}) {
+      const double gen = e_general(s, Duplex::kHalf);
+      const double sep = separator_bound(family, d, s, Duplex::kHalf).e;
+      EXPECT_GE(sep, gen - 1e-9)
+          << topology::family_name(family, d) << " s=" << s;
+    }
+}
+
+TEST(SeparatorBound, MaximizerWithinFeasibleRegion) {
+  for (int s : {4, 8, kUnboundedPeriod}) {
+    const auto res = separator_bound(Family::kDeBruijn, 2, s, Duplex::kHalf);
+    EXPECT_GT(res.lambda, 0.0);
+    EXPECT_LE(norm_bound_function(res.lambda, s, Duplex::kHalf), 1.0 + 1e-9);
+  }
+}
+
+TEST(SeparatorBound, LargerEllWinsMore) {
+  // With α·l = 1 fixed, a larger l (smaller α) exploits distance more:
+  // BF(2) (l = 2) must beat DB(2) (l = 1) at s = ∞.
+  const double bf =
+      separator_bound(Family::kButterfly, 2, kUnboundedPeriod, Duplex::kHalf).e;
+  const double db =
+      separator_bound(Family::kDeBruijn, 2, kUnboundedPeriod, Duplex::kHalf).e;
+  EXPECT_GT(bf, db);
+}
+
+TEST(SeparatorBound, HigherDegreeWeakensBound) {
+  // log d grows -> l shrinks -> bound approaches the general one.
+  for (int s : {4, kUnboundedPeriod}) {
+    const double d2 = separator_bound(Family::kDeBruijn, 2, s, Duplex::kHalf).e;
+    const double d3 = separator_bound(Family::kDeBruijn, 3, s, Duplex::kHalf).e;
+    EXPECT_GE(d2, d3 - 1e-9);
+  }
+}
+
+TEST(SeparatorBound, DecreasesInS) {
+  double prev = separator_bound(Family::kWrappedButterfly, 2, 3, Duplex::kHalf).e;
+  for (int s = 4; s <= 10; ++s) {
+    const double cur = separator_bound(Family::kWrappedButterfly, 2, s, Duplex::kHalf).e;
+    EXPECT_LE(cur, prev + 1e-9) << "s=" << s;
+    prev = cur;
+  }
+}
+
+TEST(SeparatorBound, KautzMatchesDeBruijn) {
+  // Identical (α, l) parameters -> identical bounds.
+  for (int s : {3, 5, kUnboundedPeriod})
+    EXPECT_NEAR(separator_bound(Family::kKautz, 2, s, Duplex::kHalf).e,
+                separator_bound(Family::kDeBruijn, 2, s, Duplex::kHalf).e, 1e-9);
+}
+
+TEST(SeparatorBound, FullDuplexVariantBelowHalfDuplex) {
+  for (const auto& [family, d] : paper_family_list())
+    EXPECT_LE(separator_bound(family, d, 4, Duplex::kFull).e,
+              separator_bound(family, d, 4, Duplex::kHalf).e + 1e-9);
+}
+
+TEST(SeparatorBound, FullDuplexNeverBelowItsGeneralBound) {
+  for (int s : {3, 4, 8, kUnboundedPeriod})
+    EXPECT_GE(separator_bound(Family::kButterfly, 2, s, Duplex::kFull).e,
+              e_general(s, Duplex::kFull) - 1e-9);
+}
+
+TEST(SeparatorBound, RejectsBadParameters) {
+  EXPECT_THROW((void)separator_bound(0.0, 1.0, 4, Duplex::kHalf),
+               std::invalid_argument);
+  EXPECT_THROW((void)separator_bound(1.0, -1.0, 4, Duplex::kHalf),
+               std::invalid_argument);
+}
+
+TEST(SeparatorBound, DiameterCoefficients) {
+  EXPECT_DOUBLE_EQ(diameter_coefficient(Family::kButterfly, 2), 2.0);
+  EXPECT_DOUBLE_EQ(diameter_coefficient(Family::kWrappedButterflyDirected, 2), 2.0);
+  EXPECT_DOUBLE_EQ(diameter_coefficient(Family::kWrappedButterfly, 2), 1.5);
+  EXPECT_DOUBLE_EQ(diameter_coefficient(Family::kDeBruijn, 2), 1.0);
+  EXPECT_DOUBLE_EQ(diameter_coefficient(Family::kKautz, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace sysgo::core

@@ -1,0 +1,98 @@
+#include "core/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/separator_bound.hpp"
+
+namespace sysgo::core {
+namespace {
+
+TEST(Tables, Fig4PaperRowOrderAndValues) {
+  const auto rows = fig4_rows_paper();
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_EQ(rows[0].s, 3);
+  EXPECT_EQ(rows.back().s, kUnboundedPeriod);
+  // The paper truncates to four decimals; allow one unit in the last digit.
+  const double expected[] = {2.8808, 1.8133, 1.6502, 1.5363, 1.5021, 1.4721, 1.4404};
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_NEAR(rows[i].e, expected[i], 1.01e-4) << "row " << i;
+}
+
+TEST(Tables, Fig4LambdaConsistent) {
+  for (const auto& row : fig4_rows({3, 5, 8})) {
+    EXPECT_NEAR(norm_bound_function(row.lambda, row.s, Duplex::kHalf), 1.0, 1e-9);
+    EXPECT_NEAR(row.e, e_coefficient(row.lambda), 1e-12);
+  }
+}
+
+TEST(Tables, PaperFamilyListCoversAllFamiliesTwice) {
+  const auto list = paper_family_list();
+  EXPECT_EQ(list.size(), 14u);  // 7 families x degrees {2, 3}
+}
+
+TEST(Tables, Fig5RowsAlignWithPeriods) {
+  const std::vector<int> periods{3, 4, 8};
+  const auto rows = fig5_rows(periods);
+  ASSERT_EQ(rows.size(), 14u);
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.e_by_period.size(), periods.size());
+    // α·l = 1 holds for all Lemma 3.1 families.
+    EXPECT_NEAR(row.alpha * row.ell, 1.0, 1e-12);
+    // Bounds decrease (weakly) with the period.
+    EXPECT_GE(row.e_by_period[0], row.e_by_period[1] - 1e-9);
+    EXPECT_GE(row.e_by_period[1], row.e_by_period[2] - 1e-9);
+    // And never fall below the general bound.
+    for (std::size_t i = 0; i < periods.size(); ++i)
+      EXPECT_GE(row.e_by_period[i], e_general(periods[i], Duplex::kHalf) - 1e-9);
+  }
+}
+
+TEST(Tables, Fig5QuotedEntries) {
+  const auto rows = fig5_rows({4});
+  for (const auto& row : rows) {
+    if (row.family == topology::Family::kWrappedButterfly && row.d == 2) {
+      EXPECT_NEAR(row.e_by_period[0], 2.0218, 5e-4);
+    }
+    if (row.family == topology::Family::kDeBruijn && row.d == 2) {
+      EXPECT_NEAR(row.e_by_period[0], 1.8133, 5e-4);
+    }
+  }
+}
+
+TEST(Tables, Fig6BestIsMaxOfMatrixAndDiameter) {
+  for (const auto& row : fig6_rows()) {
+    EXPECT_DOUBLE_EQ(row.e_best, std::max(row.e_matrix, row.e_diameter));
+    EXPECT_GE(row.e_matrix, e_general(kUnboundedPeriod, Duplex::kHalf) - 1e-9);
+  }
+}
+
+TEST(Tables, Fig6QuotedEntries) {
+  for (const auto& row : fig6_rows()) {
+    if (row.family == topology::Family::kWrappedButterfly && row.d == 2) {
+      EXPECT_NEAR(row.e_matrix, 1.9750, 5e-4);
+    }
+    if (row.family == topology::Family::kDeBruijn && row.d == 2) {
+      EXPECT_NEAR(row.e_matrix, 1.5876, 5e-4);
+    }
+  }
+}
+
+TEST(Tables, Fig8FullDuplexRowsDominateGeneral) {
+  const std::vector<int> periods{3, 4, 6, kUnboundedPeriod};
+  const auto rows = fig8_rows(periods);
+  for (const auto& row : rows)
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+      EXPECT_GE(row.e_by_period[i], e_general(periods[i], Duplex::kFull) - 1e-9);
+      // Full-duplex bounds are below the corresponding half-duplex ones.
+      const auto hd = separator_bound(row.family, row.d, periods[i], Duplex::kHalf);
+      EXPECT_LE(row.e_by_period[i], hd.e + 1e-9);
+    }
+}
+
+TEST(Tables, PeriodLabels) {
+  EXPECT_EQ(period_label(4), "4");
+  EXPECT_EQ(period_label(kUnboundedPeriod), "inf");
+}
+
+}  // namespace
+}  // namespace sysgo::core

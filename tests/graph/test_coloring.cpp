@@ -1,0 +1,73 @@
+#include "graph/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/classic.hpp"
+#include "topology/de_bruijn.hpp"
+
+namespace sysgo::graph {
+namespace {
+
+TEST(Coloring, PathNeedsTwoColors) {
+  const auto c = greedy_edge_coloring(topology::path(10));
+  EXPECT_TRUE(is_proper_edge_coloring(c, 10));
+  EXPECT_EQ(c.color_count, 2);
+}
+
+TEST(Coloring, SingleEdge) {
+  const auto g = topology::path(2);
+  const auto c = greedy_edge_coloring(g);
+  EXPECT_EQ(c.color_count, 1);
+  EXPECT_TRUE(is_proper_edge_coloring(c, 2));
+}
+
+TEST(Coloring, CompleteGraphProper) {
+  const auto g = topology::complete(6);
+  const auto c = greedy_edge_coloring(g);
+  EXPECT_TRUE(is_proper_edge_coloring(c, 6));
+  // Greedy uses at most 2Δ-1 colors.
+  EXPECT_LE(c.color_count, 2 * 5 - 1);
+  EXPECT_GE(c.color_count, 5);  // K6 needs at least Δ = 5
+}
+
+TEST(Coloring, HypercubeProper) {
+  const auto g = topology::hypercube(4);
+  const auto c = greedy_edge_coloring(g);
+  EXPECT_TRUE(is_proper_edge_coloring(c, g.vertex_count()));
+  EXPECT_LE(c.color_count, 2 * 4 - 1);
+}
+
+TEST(Coloring, DeBruijnProper) {
+  const auto g = topology::de_bruijn(2, 5);
+  const auto c = greedy_edge_coloring(g);
+  EXPECT_TRUE(is_proper_edge_coloring(c, g.vertex_count()));
+}
+
+TEST(Coloring, EveryEdgeColored) {
+  const auto g = topology::grid(4, 5);
+  const auto c = greedy_edge_coloring(g);
+  EXPECT_EQ(c.edges.size(), c.colors.size());
+  EXPECT_EQ(c.edges.size(), g.undirected_edges().size());
+  for (int col : c.colors) {
+    EXPECT_GE(col, 0);
+    EXPECT_LT(col, c.color_count);
+  }
+}
+
+TEST(Coloring, ImproperColoringDetected) {
+  EdgeColoring bad;
+  bad.edges = {{0, 1}, {1, 2}};
+  bad.colors = {0, 0};  // shares vertex 1
+  bad.color_count = 1;
+  EXPECT_FALSE(is_proper_edge_coloring(bad, 3));
+}
+
+TEST(Coloring, MismatchedSizesDetected) {
+  EdgeColoring bad;
+  bad.edges = {{0, 1}};
+  bad.colors = {};
+  EXPECT_FALSE(is_proper_edge_coloring(bad, 2));
+}
+
+}  // namespace
+}  // namespace sysgo::graph

@@ -1,0 +1,126 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sysgo::graph {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g(0);
+  g.finalize();
+  EXPECT_EQ(g.vertex_count(), 0);
+  EXPECT_EQ(g.arc_count(), 0u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Digraph, AddArcAndQuery) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.finalize();
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 2));
+  EXPECT_FALSE(g.has_arc(1, 0));
+  EXPECT_FALSE(g.has_arc(0, 2));
+}
+
+TEST(Digraph, AddArcOutOfRangeThrows) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_arc(0, 2), std::out_of_range);
+  EXPECT_THROW(g.add_arc(-1, 0), std::out_of_range);
+}
+
+TEST(Digraph, DuplicateArcsRemoved) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(0, 1);
+  g.finalize();
+  EXPECT_EQ(g.arc_count(), 1u);
+}
+
+TEST(Digraph, AddEdgeIsSymmetric) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.arc_count(), 2u);
+}
+
+TEST(Digraph, Degrees) {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(0, 3);
+  g.add_arc(1, 0);
+  g.finalize();
+  EXPECT_EQ(g.out_degree(0), 3);
+  EXPECT_EQ(g.in_degree(0), 1);
+  EXPECT_EQ(g.in_degree(1), 1);
+  EXPECT_EQ(g.max_out_degree(), 3);
+}
+
+TEST(Digraph, NeighborsSorted) {
+  Digraph g(4);
+  g.add_arc(0, 3);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.finalize();
+  const auto nbrs = g.out_neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1);
+  EXPECT_EQ(nbrs[1], 2);
+  EXPECT_EQ(nbrs[2], 3);
+}
+
+TEST(Digraph, ReverseFlipsArcs) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.finalize();
+  const auto r = g.reverse();
+  EXPECT_TRUE(r.has_arc(1, 0));
+  EXPECT_TRUE(r.has_arc(2, 1));
+  EXPECT_FALSE(r.has_arc(0, 1));
+}
+
+TEST(Digraph, SymmetricClosure) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.finalize();
+  EXPECT_FALSE(g.is_symmetric());
+  const auto s = g.symmetric_closure();
+  EXPECT_TRUE(s.is_symmetric());
+  EXPECT_EQ(s.arc_count(), 2u);
+}
+
+TEST(Digraph, UndirectedEdgesDeduplicatesAndDropsLoops) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  g.add_arc(1, 2);
+  g.add_arc(2, 2);  // self-loop
+  g.finalize();
+  const auto edges = g.undirected_edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (std::pair{0, 1}));
+  EXPECT_EQ(edges[1], (std::pair{1, 2}));
+}
+
+TEST(Digraph, ConstructorWithArcListFinalizes) {
+  Digraph g(3, {{0, 1}, {1, 2}, {0, 1}});
+  EXPECT_TRUE(g.finalized());
+  EXPECT_EQ(g.arc_count(), 2u);
+}
+
+TEST(Digraph, MaxDegreeUndirected) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.finalize();
+  EXPECT_EQ(g.max_degree_undirected(), 2);
+}
+
+}  // namespace
+}  // namespace sysgo::graph

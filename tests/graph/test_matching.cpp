@@ -1,0 +1,81 @@
+#include "graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sysgo::graph {
+namespace {
+
+TEST(Matching, EmptyIsMatching) {
+  EXPECT_TRUE(is_half_duplex_matching({}, 5));
+  EXPECT_TRUE(is_full_duplex_matching({}, 5));
+}
+
+TEST(Matching, DisjointArcsAreHalfDuplexMatching) {
+  const std::vector<Arc> arcs{{0, 1}, {2, 3}};
+  EXPECT_TRUE(is_half_duplex_matching(arcs, 4));
+}
+
+TEST(Matching, SharedHeadRejected) {
+  const std::vector<Arc> arcs{{0, 1}, {2, 1}};
+  EXPECT_FALSE(is_half_duplex_matching(arcs, 3));
+}
+
+TEST(Matching, SharedTailRejected) {
+  const std::vector<Arc> arcs{{0, 1}, {0, 2}};
+  EXPECT_FALSE(is_half_duplex_matching(arcs, 3));
+}
+
+TEST(Matching, TailOfOneIsHeadOfOtherRejected) {
+  // Half-duplex: a vertex cannot send and receive in the same round.
+  const std::vector<Arc> arcs{{0, 1}, {1, 2}};
+  EXPECT_FALSE(is_half_duplex_matching(arcs, 3));
+}
+
+TEST(Matching, OppositePairRejectedInHalfDuplex) {
+  const std::vector<Arc> arcs{{0, 1}, {1, 0}};
+  EXPECT_FALSE(is_half_duplex_matching(arcs, 2));
+}
+
+TEST(Matching, SelfLoopRejected) {
+  EXPECT_FALSE(is_half_duplex_matching(std::vector<Arc>{{1, 1}}, 2));
+  EXPECT_FALSE(is_full_duplex_matching(std::vector<Arc>{{1, 1}}, 2));
+}
+
+TEST(Matching, OutOfRangeRejected) {
+  EXPECT_FALSE(is_half_duplex_matching(std::vector<Arc>{{0, 5}}, 3));
+  EXPECT_FALSE(is_full_duplex_matching(std::vector<Arc>{{0, 5}, {5, 0}}, 3));
+}
+
+TEST(Matching, FullDuplexRequiresOppositeArcs) {
+  EXPECT_FALSE(is_full_duplex_matching(std::vector<Arc>{{0, 1}}, 2));
+  EXPECT_TRUE(is_full_duplex_matching(std::vector<Arc>{{0, 1}, {1, 0}}, 2));
+}
+
+TEST(Matching, FullDuplexDisjointPairs) {
+  const std::vector<Arc> arcs{{0, 1}, {1, 0}, {2, 3}, {3, 2}};
+  EXPECT_TRUE(is_full_duplex_matching(arcs, 4));
+}
+
+TEST(Matching, FullDuplexOverlappingPairsRejected) {
+  const std::vector<Arc> arcs{{0, 1}, {1, 0}, {1, 2}, {2, 1}};
+  EXPECT_FALSE(is_full_duplex_matching(arcs, 3));
+}
+
+TEST(Matching, GreedyMatchingIsMatching) {
+  const std::vector<Arc> pool{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}};
+  const auto m = greedy_matching(pool, 5);
+  EXPECT_TRUE(is_half_duplex_matching(m, 5));
+  EXPECT_GE(m.size(), 1u);
+  // First arc always taken.
+  EXPECT_EQ(m.front(), (Arc{0, 1}));
+}
+
+TEST(Matching, GreedyMatchingSkipsLoops) {
+  const std::vector<Arc> pool{{2, 2}, {0, 1}};
+  const auto m = greedy_matching(pool, 3);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.front(), (Arc{0, 1}));
+}
+
+}  // namespace
+}  // namespace sysgo::graph

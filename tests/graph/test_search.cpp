@@ -1,0 +1,87 @@
+#include "graph/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/classic.hpp"
+
+namespace sysgo::graph {
+namespace {
+
+TEST(Search, BfsOnPath) {
+  const auto g = topology::path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dist[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Search, BfsUnreachable) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.finalize();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Search, BfsRespectsDirection) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.finalize();
+  EXPECT_EQ(distance(g, 0, 2), 2);
+  EXPECT_EQ(distance(g, 2, 0), kUnreachable);
+}
+
+TEST(Search, MultiSourceTakesNearest) {
+  const auto g = topology::path(10);
+  const auto dist = multi_source_bfs(g, {0, 9});
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[9], 0);
+  EXPECT_EQ(dist[4], 4);
+  EXPECT_EQ(dist[5], 4);
+}
+
+TEST(Search, MultiSourceBadSourceThrows) {
+  const auto g = topology::path(3);
+  EXPECT_THROW((void)multi_source_bfs(g, {5}), std::out_of_range);
+}
+
+TEST(Search, DiameterOfPath) { EXPECT_EQ(diameter(topology::path(10)), 9); }
+
+TEST(Search, DiameterOfCycle) { EXPECT_EQ(diameter(topology::cycle(10)), 5); }
+
+TEST(Search, DiameterOfCompleteGraph) {
+  EXPECT_EQ(diameter(topology::complete(8)), 1);
+}
+
+TEST(Search, DiameterOfHypercube) {
+  EXPECT_EQ(diameter(topology::hypercube(5)), 5);
+}
+
+TEST(Search, DiameterDisconnected) {
+  Digraph g(2);
+  g.finalize();
+  EXPECT_EQ(diameter(g), kUnreachable);
+}
+
+TEST(Search, StrongConnectivity) {
+  EXPECT_TRUE(is_strongly_connected(topology::cycle(5)));
+  Digraph dag(3);
+  dag.add_arc(0, 1);
+  dag.add_arc(1, 2);
+  dag.finalize();
+  EXPECT_FALSE(is_strongly_connected(dag));
+  // Directed cycle is strongly connected.
+  Digraph dcycle(3);
+  dcycle.add_arc(0, 1);
+  dcycle.add_arc(1, 2);
+  dcycle.add_arc(2, 0);
+  dcycle.finalize();
+  EXPECT_TRUE(is_strongly_connected(dcycle));
+}
+
+TEST(Search, GridDiameterIsManhattan) {
+  EXPECT_EQ(diameter(topology::grid(4, 6)), 3 + 5);
+}
+
+}  // namespace
+}  // namespace sysgo::graph

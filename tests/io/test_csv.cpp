@@ -1,0 +1,79 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sysgo::io {
+namespace {
+
+int line_count(const std::string& text) {
+  return static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+}
+
+TEST(Csv, LineBasics) {
+  EXPECT_EQ(csv_line({"a", "b", "c"}), "a,b,c\n");
+  EXPECT_EQ(csv_line({}), "\n");
+}
+
+TEST(Csv, QuotesSpecialCells) {
+  EXPECT_EQ(csv_line({"a,b"}), "\"a,b\"\n");
+  EXPECT_EQ(csv_line({"say \"hi\""}), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, Fig4HasHeaderAndSevenRows) {
+  const auto csv = fig4_csv();
+  EXPECT_EQ(line_count(csv), 1 + 7);
+  EXPECT_NE(csv.find("s,lambda,e"), std::string::npos);
+  EXPECT_NE(csv.find("2.8808"), std::string::npos);
+  EXPECT_NE(csv.find("inf"), std::string::npos);
+}
+
+TEST(Csv, Fig5CoversFourteenNetworks) {
+  const auto csv = fig5_csv();
+  EXPECT_EQ(line_count(csv), 1 + 14);
+  EXPECT_NE(csv.find("WBF(2,D)"), std::string::npos);
+  EXPECT_NE(csv.find("2.0219"), std::string::npos);  // s=4 WBF(2) entry
+}
+
+TEST(Csv, Fig6HasDiameterColumn) {
+  const auto csv = fig6_csv();
+  EXPECT_EQ(line_count(csv), 1 + 14);
+  EXPECT_NE(csv.find("e_diameter"), std::string::npos);
+  EXPECT_NE(csv.find("1.9750"), std::string::npos);  // WBF(2) non-systolic
+}
+
+TEST(Csv, Fig8IncludesUnboundedColumn) {
+  const auto csv = fig8_csv();
+  EXPECT_NE(csv.find("e_sinf"), std::string::npos);
+  EXPECT_EQ(line_count(csv), 1 + 14);
+}
+
+// Field separators are commas outside quoted regions.
+int field_count(const std::string& line) {
+  int fields = 1;
+  bool quoted = false;
+  for (char c : line) {
+    if (c == '"') quoted = !quoted;
+    if (c == ',' && !quoted) ++fields;
+  }
+  return fields;
+}
+
+TEST(Csv, EveryRowHasSameFieldCount) {
+  for (const auto& csv : {fig4_csv(), fig5_csv(), fig6_csv(), fig8_csv()}) {
+    std::istringstream in(csv);
+    std::string line;
+    std::getline(in, line);
+    const int fields = field_count(line);
+    while (std::getline(in, line)) EXPECT_EQ(field_count(line), fields) << line;
+  }
+}
+
+TEST(Csv, NetworkNamesAreQuoted) {
+  // "BF(2,D)" contains a comma and must be quoted.
+  EXPECT_NE(fig5_csv().find("\"BF(2,D)\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sysgo::io

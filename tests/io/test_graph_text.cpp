@@ -1,0 +1,58 @@
+#include "io/graph_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/classic.hpp"
+#include "topology/kautz.hpp"
+
+namespace sysgo::io {
+namespace {
+
+TEST(GraphText, SerializeFormat) {
+  graph::Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(2, 0);
+  g.finalize();
+  const auto text = serialize(g);
+  EXPECT_NE(text.find("sysgo-digraph v1"), std::string::npos);
+  EXPECT_NE(text.find("n 3"), std::string::npos);
+  EXPECT_NE(text.find("arc 0 1"), std::string::npos);
+  EXPECT_NE(text.find("arc 2 0"), std::string::npos);
+}
+
+TEST(GraphText, RoundTripPreservesArcs) {
+  for (const auto& g : {topology::cycle(7), topology::kautz_directed(2, 3)}) {
+    const auto h = parse_digraph(serialize(g));
+    EXPECT_EQ(h.vertex_count(), g.vertex_count());
+    ASSERT_EQ(h.arc_count(), g.arc_count());
+    for (const auto& a : g.arcs()) EXPECT_TRUE(h.has_arc(a.tail, a.head));
+  }
+}
+
+TEST(GraphText, EmptyGraphRoundTrips) {
+  graph::Digraph g(4);
+  g.finalize();
+  const auto h = parse_digraph(serialize(g));
+  EXPECT_EQ(h.vertex_count(), 4);
+  EXPECT_EQ(h.arc_count(), 0u);
+}
+
+TEST(GraphText, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_digraph("nonsense"), std::invalid_argument);
+  EXPECT_THROW((void)parse_digraph("sysgo-digraph v2\nn 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_digraph("sysgo-digraph v1\nm 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_digraph("sysgo-digraph v1\nn 2\nedge 0 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_digraph("sysgo-digraph v1\nn 2\narc 0\n"),
+               std::invalid_argument);
+}
+
+TEST(GraphText, RejectsOutOfRangeArc) {
+  EXPECT_THROW((void)parse_digraph("sysgo-digraph v1\nn 2\narc 0 5\n"),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sysgo::io

@@ -1,0 +1,133 @@
+#include "io/protocol_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocol/builders.hpp"
+#include "protocol/classic_protocols.hpp"
+#include "topology/classic.hpp"
+#include "util/rng.hpp"
+
+namespace sysgo::io {
+namespace {
+
+using protocol::Mode;
+
+TEST(ProtocolText, SerializeBasicProtocol) {
+  protocol::Protocol p;
+  p.n = 4;
+  p.mode = Mode::kHalfDuplex;
+  p.rounds = {{{{0, 1}, {2, 3}}}, {{{1, 2}}}};
+  const auto text = serialize(p);
+  EXPECT_NE(text.find("sysgo-protocol v1"), std::string::npos);
+  EXPECT_NE(text.find("n 4 mode half"), std::string::npos);
+  EXPECT_NE(text.find("round 1: 0>1 2>3"), std::string::npos);
+  EXPECT_NE(text.find("round 2: 1>2"), std::string::npos);
+}
+
+TEST(ProtocolText, ProtocolRoundTrip) {
+  util::Rng rng(77);
+  const auto g = topology::cycle(6);
+  const auto p = protocol::random_protocol(g, 9, Mode::kHalfDuplex, rng);
+  const auto q = parse_protocol(serialize(p));
+  EXPECT_EQ(q.n, p.n);
+  EXPECT_EQ(q.mode, p.mode);
+  ASSERT_EQ(q.rounds.size(), p.rounds.size());
+  for (std::size_t i = 0; i < p.rounds.size(); ++i) EXPECT_EQ(q.rounds[i], p.rounds[i]);
+}
+
+TEST(ProtocolText, ScheduleRoundTrip) {
+  const auto s = protocol::hypercube_schedule(3, Mode::kFullDuplex);
+  const auto t = parse_schedule(serialize(s));
+  EXPECT_EQ(t.n, s.n);
+  EXPECT_EQ(t.mode, s.mode);
+  ASSERT_EQ(t.period.size(), s.period.size());
+  for (std::size_t i = 0; i < s.period.size(); ++i) EXPECT_EQ(t.period[i], s.period[i]);
+}
+
+TEST(ProtocolText, EmptyRoundsSurviveRoundTrip) {
+  protocol::Protocol p;
+  p.n = 3;
+  p.rounds = {{}, {{{0, 1}}}, {}};
+  const auto q = parse_protocol(serialize(p));
+  ASSERT_EQ(q.rounds.size(), 3u);
+  EXPECT_TRUE(q.rounds[0].arcs.empty());
+  EXPECT_TRUE(q.rounds[2].arcs.empty());
+}
+
+TEST(ProtocolText, RejectsWrongMagic) {
+  EXPECT_THROW((void)parse_protocol("sysgo-schedule v1\nn 2 mode half\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_schedule("sysgo-protocol v1\nn 2 mode half\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_protocol("garbage"), std::invalid_argument);
+}
+
+TEST(ProtocolText, RejectsBadMode) {
+  EXPECT_THROW((void)parse_protocol("sysgo-protocol v1\nn 2 mode duplex\n"),
+               std::invalid_argument);
+}
+
+TEST(ProtocolText, RejectsOutOfRangeArc) {
+  EXPECT_THROW(
+      (void)parse_protocol("sysgo-protocol v1\nn 2 mode half\nround 1: 0>5\n"),
+      std::invalid_argument);
+}
+
+TEST(ProtocolText, RejectsNonConsecutiveRounds) {
+  EXPECT_THROW(
+      (void)parse_protocol("sysgo-protocol v1\nn 2 mode half\nround 2: 0>1\n"),
+      std::invalid_argument);
+}
+
+TEST(ProtocolText, RejectsMalformedArc) {
+  EXPECT_THROW(
+      (void)parse_protocol("sysgo-protocol v1\nn 2 mode half\nround 1: 0-1\n"),
+      std::invalid_argument);
+}
+
+TEST(ProtocolText, FuzzedInputsNeverCrash) {
+  // Robustness: arbitrary mutations of a valid document either parse or
+  // throw std::invalid_argument/std::exception — never crash.
+  util::Rng rng(2025);
+  const auto base =
+      serialize(protocol::path_schedule(4, Mode::kHalfDuplex).expand(4));
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = base;
+    const int mutations = rng.uniform_int(1, 5);
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(text.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0: text[pos] = static_cast<char>(rng.uniform_int(32, 126)); break;
+        case 1: text.erase(pos, 1); break;
+        default: text.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+      }
+    }
+    try {
+      const auto p = parse_protocol(text);
+      // If it parsed, the result must be structurally sane.
+      EXPECT_GE(p.n, 1);
+      for (const auto& r : p.rounds)
+        for (const auto& a : r.arcs) {
+          EXPECT_GE(a.tail, 0);
+          EXPECT_LT(a.tail, p.n);
+          EXPECT_GE(a.head, 0);
+          EXPECT_LT(a.head, p.n);
+        }
+    } catch (const std::exception&) {
+      // Rejected: fine.
+    }
+  }
+}
+
+TEST(ProtocolText, ErrorMessagesNameTheLine) {
+  try {
+    (void)parse_protocol("sysgo-protocol v1\nn 2 mode half\nround 1: 0>9\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sysgo::io

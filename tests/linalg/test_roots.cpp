@@ -1,0 +1,71 @@
+#include "linalg/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sysgo::linalg {
+namespace {
+
+TEST(Roots, BisectFindsSqrt2) {
+  const auto res = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(res.bracketed);
+  EXPECT_NEAR(res.x, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Roots, BisectGoldenRatioReciprocal) {
+  // λ/(1−λ²) = 1  =>  λ = 1/φ = 0.6180339887...
+  const auto res =
+      bisect([](double l) { return l / (1.0 - l * l) - 1.0; }, 0.01, 0.99);
+  EXPECT_TRUE(res.bracketed);
+  EXPECT_NEAR(res.x, (std::sqrt(5.0) - 1.0) / 2.0, 1e-11);
+}
+
+TEST(Roots, BisectExactEndpointRoot) {
+  const auto res = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(res.bracketed);
+  EXPECT_DOUBLE_EQ(res.x, 0.0);
+}
+
+TEST(Roots, BisectUnbracketedReported) {
+  const auto res = bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(res.bracketed);
+}
+
+TEST(Roots, MaximizeParabola) {
+  const auto res = maximize([](double x) { return -(x - 0.3) * (x - 0.3) + 2.0; },
+                            0.0, 1.0);
+  // Near a smooth maximum, f(x*) − f(x) ~ (x − x*)², so an x-accuracy of
+  // sqrt(value tolerance) is what golden section delivers.
+  EXPECT_NEAR(res.x, 0.3, 1e-6);
+  EXPECT_NEAR(res.value, 2.0, 1e-12);
+}
+
+TEST(Roots, MaximizeBoundaryMaximum) {
+  const auto res = maximize([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_NEAR(res.x, 1.0, 1e-9);
+  EXPECT_NEAR(res.value, 1.0, 1e-9);
+}
+
+TEST(Roots, MaximizeHandlesMultimodalWithDenseGrid) {
+  // Global max at x ≈ 0.9 among two local maxima.
+  const auto f = [](double x) {
+    return std::sin(10.0 * x) + 0.5 * x;
+  };
+  const auto res = maximize(f, 0.0, 1.0, 8192);
+  // Global maximum of sin(10x)+x/2 on [0,1]: compare against dense scan.
+  double best = -1e9;
+  for (int i = 0; i <= 1'000'000; ++i) {
+    const double x = i * 1e-6;
+    best = std::max(best, f(x));
+  }
+  EXPECT_NEAR(res.value, best, 1e-7);
+}
+
+TEST(Roots, MaximizeConstantFunction) {
+  const auto res = maximize([](double) { return 7.0; }, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(res.value, 7.0);
+}
+
+}  // namespace
+}  // namespace sysgo::linalg

@@ -1,0 +1,51 @@
+#include "protocol/systolic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/classic.hpp"
+
+namespace sysgo::protocol {
+namespace {
+
+SystolicSchedule two_round_schedule() {
+  SystolicSchedule s;
+  s.n = 4;
+  s.mode = Mode::kHalfDuplex;
+  s.period = {{{{0, 1}, {2, 3}}}, {{{1, 2}}}};
+  return s;
+}
+
+TEST(Systolic, RoundAtCyclesThroughPeriod) {
+  const auto s = two_round_schedule();
+  EXPECT_EQ(s.round_at(1), s.period[0]);
+  EXPECT_EQ(s.round_at(2), s.period[1]);
+  EXPECT_EQ(s.round_at(3), s.period[0]);
+  EXPECT_EQ(s.round_at(17), s.period[0]);
+  EXPECT_EQ(s.round_at(18), s.period[1]);
+}
+
+TEST(Systolic, ExpandProducesSystolicProtocol) {
+  const auto s = two_round_schedule();
+  const auto p = s.expand(7);
+  EXPECT_EQ(p.length(), 7);
+  EXPECT_EQ(p.n, 4);
+  EXPECT_TRUE(is_systolic(p, 2));
+  EXPECT_EQ(minimal_period(p), 2);
+}
+
+TEST(Systolic, ExpandZeroRounds) {
+  const auto p = two_round_schedule().expand(0);
+  EXPECT_EQ(p.length(), 0);
+}
+
+TEST(Systolic, ValidationDelegates) {
+  auto s = two_round_schedule();
+  EXPECT_TRUE(validate_structure(s).ok);
+  const auto g = topology::path(4);
+  EXPECT_TRUE(validate_structure(s, &g).ok);
+  s.period.push_back({{{0, 1}, {1, 2}}});  // not a matching
+  EXPECT_FALSE(validate_structure(s).ok);
+}
+
+}  // namespace
+}  // namespace sysgo::protocol

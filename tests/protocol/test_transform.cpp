@@ -1,0 +1,118 @@
+#include "protocol/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocol/classic_protocols.hpp"
+#include "simulator/broadcast_sim.hpp"
+#include "simulator/gossip_sim.hpp"
+#include "topology/classic.hpp"
+
+namespace sysgo::protocol {
+namespace {
+
+TEST(Transform, TimeReversalFlipsArcsAndOrder) {
+  Protocol p;
+  p.n = 3;
+  p.rounds = {{{{0, 1}}}, {{{1, 2}}}};
+  const auto r = time_reversal(p);
+  ASSERT_EQ(r.rounds.size(), 2u);
+  EXPECT_EQ(r.rounds[0].arcs, (std::vector<Arc>{{2, 1}}));
+  EXPECT_EQ(r.rounds[1].arcs, (std::vector<Arc>{{1, 0}}));
+}
+
+TEST(Transform, TimeReversalIsInvolution) {
+  const auto p = path_schedule(6, Mode::kHalfDuplex).expand(10);
+  const auto rr = time_reversal(time_reversal(p));
+  ASSERT_EQ(rr.rounds.size(), p.rounds.size());
+  for (std::size_t i = 0; i < p.rounds.size(); ++i) {
+    auto canon = p.rounds[i];
+    canon.canonicalize();
+    EXPECT_EQ(rr.rounds[i], canon);
+  }
+}
+
+TEST(Transform, TimeReversalPreservesGossip) {
+  // Path duality: P gossips iff its reversal gossips.
+  const auto sched = path_schedule(6, Mode::kHalfDuplex);
+  const int t = simulator::gossip_time(sched, 200);
+  ASSERT_GT(t, 0);
+  const auto p = sched.expand(t);
+  ASSERT_TRUE(simulator::achieves_gossip(p));
+  EXPECT_TRUE(simulator::achieves_gossip(time_reversal(p)));
+
+  // And a protocol that does NOT gossip reverses to one that does not.
+  const auto partial = sched.expand(t - 1);
+  EXPECT_FALSE(simulator::achieves_gossip(partial));
+  EXPECT_FALSE(simulator::achieves_gossip(time_reversal(partial)));
+}
+
+TEST(Transform, ConcatenateRuns) {
+  const auto a = path_schedule(4, Mode::kHalfDuplex).expand(3);
+  const auto b = path_schedule(4, Mode::kHalfDuplex).expand(5);
+  const auto c = concatenate(a, b);
+  EXPECT_EQ(c.length(), 8);
+  EXPECT_THROW((void)concatenate(a, path_schedule(5, Mode::kHalfDuplex).expand(2)),
+               std::invalid_argument);
+}
+
+TEST(Transform, ProductIndexLayout) {
+  EXPECT_EQ(product_index(0, 0, 4), 0);
+  EXPECT_EQ(product_index(3, 0, 4), 3);
+  EXPECT_EQ(product_index(0, 1, 4), 4);
+  EXPECT_EQ(product_index(2, 3, 4), 14);
+}
+
+TEST(Transform, CartesianLiftKeepsMatchings) {
+  const auto p = path_schedule(4, Mode::kHalfDuplex).expand(4);
+  const auto lifted = cartesian_lift(p, 3, ProductCoordinate::kFirst);
+  EXPECT_EQ(lifted.n, 12);
+  EXPECT_TRUE(validate_structure(lifted).ok);
+  // Each round has 3x the arcs.
+  for (std::size_t i = 0; i < p.rounds.size(); ++i)
+    EXPECT_EQ(lifted.rounds[i].arcs.size(), 3 * p.rounds[i].arcs.size());
+}
+
+TEST(Transform, LiftedArcsLiveInTheProductGraph) {
+  // Lift of a path protocol acts within rows of the grid.
+  const auto p = path_schedule(3, Mode::kHalfDuplex).expand(2);
+  const auto lifted = cartesian_lift(p, 2, ProductCoordinate::kFirst);
+  const auto g = topology::grid(2, 3);  // 2 rows x 3 cols; index r*3+c
+  // Our product index u + w*3 matches grid row-major with w = row.
+  EXPECT_TRUE(validate_structure(lifted, &g).ok);
+}
+
+TEST(Transform, SequentialProductGossipsOnGrid) {
+  // Gossip(P3) x Gossip(P4) -> gossip on the 4x3 grid.
+  const auto pa = path_schedule(3, Mode::kHalfDuplex);
+  const auto pb = path_schedule(4, Mode::kHalfDuplex);
+  const int ta = simulator::gossip_time(pa, 100);
+  const int tb = simulator::gossip_time(pb, 100);
+  ASSERT_GT(ta, 0);
+  ASSERT_GT(tb, 0);
+  const auto prod = sequential_product(pa.expand(ta), pb.expand(tb));
+  EXPECT_EQ(prod.n, 12);
+  EXPECT_TRUE(validate_structure(prod).ok);
+  EXPECT_TRUE(simulator::achieves_gossip(prod));
+  EXPECT_EQ(prod.length(), ta + tb);
+}
+
+TEST(Transform, SequentialProductOnCyclesGossipsTorus) {
+  const auto pa = cycle_schedule(4, Mode::kFullDuplex);
+  const auto pb = cycle_schedule(6, Mode::kFullDuplex);
+  const int ta = simulator::gossip_time(pa, 100);
+  const int tb = simulator::gossip_time(pb, 100);
+  ASSERT_GT(ta, 0);
+  ASSERT_GT(tb, 0);
+  const auto prod = sequential_product(pa.expand(ta), pb.expand(tb));
+  EXPECT_EQ(prod.n, 24);
+  EXPECT_TRUE(simulator::achieves_gossip(prod));
+}
+
+TEST(Transform, SequentialProductRejectsModeMismatch) {
+  const auto a = path_schedule(3, Mode::kHalfDuplex).expand(2);
+  const auto b = path_schedule(3, Mode::kFullDuplex).expand(2);
+  EXPECT_THROW((void)sequential_product(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysgo::protocol

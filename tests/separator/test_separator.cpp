@@ -1,0 +1,183 @@
+#include "separator/separator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/search.hpp"
+
+namespace sysgo::separator {
+namespace {
+
+using topology::Family;
+
+TEST(SeparatorParams, AlphaTimesEllIsOneForAllFamilies) {
+  for (Family f : {Family::kButterfly, Family::kWrappedButterflyDirected,
+                   Family::kWrappedButterfly, Family::kDeBruijnDirected,
+                   Family::kDeBruijn, Family::kKautzDirected, Family::kKautz})
+    for (int d : {2, 3, 4}) {
+      const auto p = lemma31_params(f, d);
+      EXPECT_NEAR(p.alpha * p.ell, 1.0, 1e-12) << topology::family_name(f, d);
+    }
+}
+
+TEST(SeparatorParams, MatchLemma31Formulas) {
+  const auto bf = lemma31_params(Family::kButterfly, 2);
+  EXPECT_DOUBLE_EQ(bf.alpha, 0.5);      // log2(2)/2
+  EXPECT_DOUBLE_EQ(bf.ell, 2.0);        // 2/log2(2)
+  const auto wbf = lemma31_params(Family::kWrappedButterfly, 2);
+  EXPECT_DOUBLE_EQ(wbf.alpha, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(wbf.ell, 1.5);
+  const auto db = lemma31_params(Family::kDeBruijn, 2);
+  EXPECT_DOUBLE_EQ(db.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(db.ell, 1.0);
+  const auto db3 = lemma31_params(Family::kDeBruijn, 3);
+  EXPECT_DOUBLE_EQ(db3.alpha, std::log2(3.0));
+  EXPECT_DOUBLE_EQ(db3.ell, 1.0 / std::log2(3.0));
+}
+
+TEST(Separator, ButterflyDistanceIsExactly2D) {
+  for (int D : {3, 4}) {
+    const auto g = topology::make_family(Family::kButterfly, 2, D);
+    const auto sep = build_separator(Family::kButterfly, 2, D);
+    const auto chk = verify_separator(g, sep);
+    EXPECT_EQ(chk.min_distance, 2 * D) << "D=" << D;
+    EXPECT_EQ(sep.designed_distance, 2 * D);
+    // Balanced split of the level-0 copy: d^D words split by top digit.
+    EXPECT_EQ(chk.size1 + chk.size2, static_cast<std::size_t>(1) << D);
+  }
+}
+
+TEST(Separator, ButterflyDegree3Distance) {
+  const int D = 3;
+  const auto g = topology::make_family(Family::kButterfly, 3, D);
+  const auto sep = build_separator(Family::kButterfly, 3, D);
+  const auto chk = verify_separator(g, sep);
+  EXPECT_EQ(chk.min_distance, 2 * D);
+  EXPECT_GT(chk.size1, 0u);
+  EXPECT_GT(chk.size2, 0u);
+}
+
+TEST(Separator, WrappedButterflyDirectedDistanceIs2DMinus1) {
+  for (int D : {3, 4}) {
+    const auto g = topology::make_family(Family::kWrappedButterflyDirected, 2, D);
+    const auto sep = build_separator(Family::kWrappedButterflyDirected, 2, D);
+    const auto chk = verify_separator(g, sep);
+    EXPECT_EQ(chk.min_distance, 2 * D - 1) << "D=" << D;
+  }
+}
+
+TEST(Separator, DeBruijnDistanceNearD) {
+  // The shift-robust sets guarantee dist >= D - 2h + 1 in the directed
+  // digraph; the undirected distance stays within the same O(sqrt(D)) band.
+  for (int D : {4, 6, 9, 12}) {
+    const auto g = topology::make_family(Family::kDeBruijn, 2, D);
+    const auto sep = build_separator(Family::kDeBruijn, 2, D);
+    const auto chk = verify_separator(g, sep);
+    const int h = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(D))));
+    EXPECT_GE(chk.min_distance, std::max(1, D - 2 * h)) << "D=" << D;
+    EXPECT_LE(chk.min_distance, D) << "D=" << D;
+  }
+}
+
+TEST(Separator, DeBruijnDirectedDistanceAtLeastUndirected) {
+  const auto sep = build_separator(Family::kDeBruijnDirected, 2, 9);
+  const auto gd = topology::make_family(Family::kDeBruijnDirected, 2, 9);
+  const auto gu = topology::make_family(Family::kDeBruijn, 2, 9);
+  const int dd = verify_separator(gd, sep).min_distance;
+  const int du = verify_separator(gu, sep).min_distance;
+  EXPECT_GE(dd, du);
+  EXPECT_GE(dd, 9 - 2);  // directed bound D - 2h + 1 = 4; measured 9
+}
+
+TEST(Separator, DeBruijnSetSizesMatchConstrainedCount) {
+  // d = 2: every constrained position carries exactly one admissible
+  // symbol, so |Vi| = 2^{D - |S|} with S the shift-robust position set.
+  for (int D : {9, 12}) {
+    const int h = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(D))));
+    const auto s = shift_robust_positions(D, h);
+    const auto sep = build_separator(Family::kDeBruijn, 2, D);
+    const auto expected = static_cast<std::size_t>(1)
+                          << (D - static_cast<int>(s.size()));
+    EXPECT_EQ(sep.v1.size(), expected) << "D=" << D;
+    EXPECT_EQ(sep.v2.size(), expected) << "D=" << D;
+  }
+}
+
+TEST(Separator, ShiftRobustPositions) {
+  // D = 12, h = 4: [0,4) ∪ [8,12) ∪ {0,4,8}.
+  const auto s = shift_robust_positions(12, 4);
+  EXPECT_EQ(s, (std::vector<int>{0, 1, 2, 3, 4, 8, 9, 10, 11}));
+}
+
+TEST(Separator, PaperLiteralSetsWouldBeDistanceOne) {
+  // Documents why the shift-robust strengthening is needed: constraining
+  // only the h-progression admits a distance-1 pair in DB(2,4) (h = 2):
+  // x = 1010 is "low" at positions {0,2}; its shift 0101 is "high" there.
+  const auto g = topology::make_family(Family::kDeBruijnDirected, 2, 4);
+  const int x = 0b1010;
+  const int y = 0b0101;
+  EXPECT_TRUE(g.has_arc(x, y));
+}
+
+TEST(Separator, WrappedButterflyUndirectedDistanceAboveD) {
+  const int D = 6;
+  const auto g = topology::make_family(Family::kWrappedButterfly, 2, D);
+  const auto sep = build_separator(Family::kWrappedButterfly, 2, D);
+  const auto chk = verify_separator(g, sep);
+  // Asymptotically 3D/2 - O(sqrt(D)); for D = 6 it must exceed D - 1.
+  EXPECT_GE(chk.min_distance, D - 1);
+  EXPECT_GT(chk.size1, 0u);
+  EXPECT_GT(chk.size2, 0u);
+}
+
+TEST(Separator, KautzDistanceNearD) {
+  for (int D : {4, 6, 9}) {
+    const auto g = topology::make_family(Family::kKautz, 2, D);
+    const auto sep = build_separator(Family::kKautz, 2, D);
+    const auto chk = verify_separator(g, sep);
+    // d = 2 uses the parity-pattern fix with h rounded up to odd.
+    int h = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(D))));
+    if (h % 2 == 0) ++h;
+    EXPECT_GE(chk.min_distance, std::max(1, D - 2 * h)) << "D=" << D;
+    EXPECT_GE(chk.min_distance, D / 2) << "D=" << D;  // measured headroom
+    EXPECT_GT(chk.size1, 0u);
+    EXPECT_GT(chk.size2, 0u);
+  }
+}
+
+TEST(Separator, KautzDegree3UsesValueClasses) {
+  const auto g = topology::make_family(Family::kKautz, 3, 6);
+  const auto sep = build_separator(Family::kKautz, 3, 6);
+  const auto chk = verify_separator(g, sep);
+  EXPECT_GE(chk.min_distance, 6 - 3);
+  EXPECT_GT(chk.size1, 0u);
+  EXPECT_GT(chk.size2, 0u);
+}
+
+TEST(Separator, SetsAreDisjoint) {
+  for (Family f : {Family::kButterfly, Family::kWrappedButterflyDirected,
+                   Family::kWrappedButterfly, Family::kDeBruijn, Family::kKautz}) {
+    const auto sep = build_separator(f, 2, 4);
+    std::vector<char> in1;
+    const auto g = topology::make_family(f, 2, 4);
+    in1.assign(static_cast<std::size_t>(g.vertex_count()), 0);
+    for (int v : sep.v1) in1[static_cast<std::size_t>(v)] = 1;
+    for (int v : sep.v2) EXPECT_FALSE(in1[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Separator, DirectedDeBruijnUsesSameSets) {
+  const auto s1 = build_separator(Family::kDeBruijn, 2, 5);
+  const auto s2 = build_separator(Family::kDeBruijnDirected, 2, 5);
+  EXPECT_EQ(s1.v1, s2.v1);
+  EXPECT_EQ(s1.v2, s2.v2);
+  // Directed distance can only be larger or equal.
+  const auto gd = topology::make_family(Family::kDeBruijnDirected, 2, 5);
+  const auto gu = topology::make_family(Family::kDeBruijn, 2, 5);
+  EXPECT_GE(verify_separator(gd, s2).min_distance,
+            verify_separator(gu, s1).min_distance);
+}
+
+}  // namespace
+}  // namespace sysgo::separator

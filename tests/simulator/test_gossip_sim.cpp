@@ -1,0 +1,122 @@
+#include "simulator/gossip_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocol/classic_protocols.hpp"
+#include "topology/classic.hpp"
+
+namespace sysgo::simulator {
+namespace {
+
+using protocol::Mode;
+using protocol::Protocol;
+using protocol::Round;
+
+TEST(GossipSim, TwoVerticesHalfDuplexNeedsTwoRounds) {
+  Protocol p;
+  p.n = 2;
+  p.mode = Mode::kHalfDuplex;
+  p.rounds = {{{{0, 1}}}, {{{1, 0}}}};
+  const auto res = run_gossip(p);
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.completion_round, 2);
+}
+
+TEST(GossipSim, TwoVerticesFullDuplexNeedsOneRound) {
+  Protocol p;
+  p.n = 2;
+  p.mode = Mode::kFullDuplex;
+  p.rounds = {{{{0, 1}, {1, 0}}}};
+  const auto res = run_gossip(p);
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.completion_round, 1);
+}
+
+TEST(GossipSim, IncompleteProtocolReported) {
+  Protocol p;
+  p.n = 3;
+  p.mode = Mode::kHalfDuplex;
+  p.rounds = {{{{0, 1}}}};
+  const auto res = run_gossip(p);
+  EXPECT_FALSE(res.complete);
+  EXPECT_EQ(res.final_counts[1], 2);
+  EXPECT_EQ(res.final_counts[2], 1);
+}
+
+TEST(GossipSim, HalfDuplexRoundSemantics) {
+  // Chain 0->1 then 1->2: item 0 reaches 2 after two rounds, not one.
+  Protocol p;
+  p.n = 3;
+  p.mode = Mode::kHalfDuplex;
+  p.rounds = {{{{0, 1}}}, {{{1, 2}}}};
+  const auto res = run_gossip(p);
+  EXPECT_TRUE(res.final_counts[2] >= 2);  // knows items 1 and 2 at least
+  KnowledgeMatrix k(3);
+  apply_round(k, p.rounds[0], Mode::kHalfDuplex);
+  EXPECT_TRUE(k.knows(1, 0));
+  EXPECT_FALSE(k.knows(2, 0));
+  apply_round(k, p.rounds[1], Mode::kHalfDuplex);
+  EXPECT_TRUE(k.knows(2, 0));
+}
+
+TEST(GossipSim, FullDuplexPairSwapsKnowledge) {
+  KnowledgeMatrix k(4);
+  k.learn(0, 2);
+  protocol::Round r{{{0, 1}, {1, 0}}};
+  apply_round(k, r, Mode::kFullDuplex);
+  EXPECT_TRUE(k.knows(1, 0));
+  EXPECT_TRUE(k.knows(1, 2));
+  EXPECT_TRUE(k.knows(0, 1));
+}
+
+TEST(GossipSim, TrackCompletionRecordsRounds) {
+  const auto sched = protocol::path_schedule(5, Mode::kHalfDuplex);
+  const auto p = sched.expand(60);
+  GossipOptions opts;
+  opts.track_completion = true;
+  const auto res = run_gossip(p, opts);
+  ASSERT_TRUE(res.complete);
+  ASSERT_EQ(res.vertex_completion.size(), 5u);
+  int max_completion = 0;
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_GE(res.vertex_completion[static_cast<std::size_t>(v)], 1);
+    max_completion =
+        std::max(max_completion, res.vertex_completion[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_EQ(max_completion, res.completion_round);
+}
+
+TEST(GossipSim, EarlyExitOnceComplete) {
+  Protocol p;
+  p.n = 2;
+  p.mode = Mode::kFullDuplex;
+  for (int i = 0; i < 50; ++i) p.rounds.push_back({{{0, 1}, {1, 0}}});
+  const auto res = run_gossip(p);
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.rounds_executed, 1);
+}
+
+TEST(GossipSim, ParallelMatchesSerial) {
+  const auto sched = protocol::hypercube_schedule(6, Mode::kFullDuplex);
+  GossipOptions serial, parallel;
+  parallel.parallel = true;
+  EXPECT_EQ(gossip_time(sched, 100, serial), gossip_time(sched, 100, parallel));
+}
+
+TEST(GossipSim, GossipTimeSingleVertexIsZero) {
+  protocol::SystolicSchedule sched;
+  sched.n = 1;
+  sched.period = {{}};
+  EXPECT_EQ(gossip_time(sched, 10), 0);
+}
+
+TEST(GossipSim, GossipTimeReturnsMinusOneWhenStuck) {
+  protocol::SystolicSchedule sched;
+  sched.n = 3;
+  sched.mode = Mode::kHalfDuplex;
+  sched.period = {{{{0, 1}}}};  // vertex 2 never participates
+  EXPECT_EQ(gossip_time(sched, 50), -1);
+}
+
+}  // namespace
+}  // namespace sysgo::simulator

@@ -1,0 +1,76 @@
+#include "topology/butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/search.hpp"
+#include "topology/words.hpp"
+
+namespace sysgo::topology {
+namespace {
+
+TEST(Butterfly, Order) {
+  EXPECT_EQ(butterfly_order(2, 3), 4 * 8);
+  EXPECT_EQ(butterfly_order(3, 2), 3 * 9);
+}
+
+TEST(Butterfly, VertexIndexRoundTrip) {
+  const int d = 2, D = 3;
+  for (int idx = 0; idx < butterfly_order(d, D); ++idx) {
+    const auto v = butterfly_vertex(idx, d, D);
+    EXPECT_EQ(butterfly_index(v.word, v.level, d, D), idx);
+    EXPECT_GE(v.level, 0);
+    EXPECT_LE(v.level, D);
+  }
+}
+
+TEST(Butterfly, IsSymmetric) {
+  EXPECT_TRUE(butterfly(2, 3).is_symmetric());
+  EXPECT_TRUE(butterfly(3, 2).is_symmetric());
+}
+
+TEST(Butterfly, DegreesByLevel) {
+  const int d = 2, D = 3;
+  const auto g = butterfly(d, D);
+  for (int idx = 0; idx < g.vertex_count(); ++idx) {
+    const auto v = butterfly_vertex(idx, d, D);
+    // End levels (0 and D) touch one rung, inner levels two; each rung
+    // contributes d incident vertices including the "same digit" neighbour.
+    const int expected = (v.level == 0 || v.level == D) ? d : 2 * d;
+    EXPECT_EQ(g.out_degree(idx), expected) << "level " << v.level;
+  }
+}
+
+TEST(Butterfly, AdjacencyChangesOnlyTheRungDigit) {
+  const int d = 2, D = 4;
+  const auto g = butterfly(d, D);
+  for (int idx = 0; idx < g.vertex_count(); ++idx) {
+    const auto u = butterfly_vertex(idx, d, D);
+    for (int widx : g.out_neighbors(idx)) {
+      const auto w = butterfly_vertex(widx, d, D);
+      EXPECT_EQ(std::abs(u.level - w.level), 1);
+      const int rung = std::min(u.level, w.level);
+      for (int pos = 0; pos < D; ++pos) {
+        if (pos == rung) continue;
+        EXPECT_EQ(digit(u.word, pos, d), digit(w.word, pos, d));
+      }
+    }
+  }
+}
+
+TEST(Butterfly, DiameterIsTwoD) {
+  EXPECT_EQ(graph::diameter(butterfly(2, 3)), 2 * 3);
+  EXPECT_EQ(graph::diameter(butterfly(2, 4)), 2 * 4);
+}
+
+TEST(Butterfly, Connected) {
+  EXPECT_TRUE(graph::is_strongly_connected(butterfly(2, 3)));
+  EXPECT_TRUE(graph::is_strongly_connected(butterfly(3, 3)));
+}
+
+TEST(Butterfly, RejectsBadParameters) {
+  EXPECT_THROW((void)butterfly(1, 3), std::invalid_argument);
+  EXPECT_THROW((void)butterfly(2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysgo::topology

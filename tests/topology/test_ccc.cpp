@@ -1,0 +1,57 @@
+#include "topology/ccc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/search.hpp"
+
+namespace sysgo::topology {
+namespace {
+
+TEST(Ccc, Order) {
+  EXPECT_EQ(ccc_order(3), 24);
+  EXPECT_EQ(ccc_order(4), 64);
+}
+
+TEST(Ccc, IndexRoundTrip) {
+  const int D = 4;
+  for (int idx = 0; idx < ccc_order(D); ++idx) {
+    const auto v = ccc_vertex(idx, D);
+    EXPECT_EQ(ccc_index(v.word, v.position, D), idx);
+  }
+}
+
+TEST(Ccc, ThreeRegular) {
+  const auto g = cube_connected_cycles(4);
+  EXPECT_TRUE(g.is_symmetric());
+  for (int v = 0; v < g.vertex_count(); ++v) EXPECT_EQ(g.out_degree(v), 3);
+}
+
+TEST(Ccc, CycleAndRungEdges) {
+  const int D = 3;
+  const auto g = cube_connected_cycles(D);
+  // (w=0, p=0) ~ (0, 1), (0, 2) [cycle], (1, 0) [rung flips bit 0].
+  const int u = ccc_index(0, 0, D);
+  EXPECT_TRUE(g.has_arc(u, ccc_index(0, 1, D)));
+  EXPECT_TRUE(g.has_arc(u, ccc_index(0, 2, D)));
+  EXPECT_TRUE(g.has_arc(u, ccc_index(1, 0, D)));
+  EXPECT_FALSE(g.has_arc(u, ccc_index(2, 0, D)));  // bit 1 not at cursor 0
+}
+
+TEST(Ccc, Connected) {
+  EXPECT_TRUE(graph::is_strongly_connected(cube_connected_cycles(3)));
+  EXPECT_TRUE(graph::is_strongly_connected(cube_connected_cycles(5)));
+}
+
+TEST(Ccc, DiameterNearTwoPointFiveD) {
+  // diam(CCC(D)) = 2D + floor(D/2) - 2 for D >= 4.
+  EXPECT_EQ(graph::diameter(cube_connected_cycles(4)), 2 * 4 + 2 - 2);
+  EXPECT_EQ(graph::diameter(cube_connected_cycles(5)), 2 * 5 + 2 - 2);
+}
+
+TEST(Ccc, RejectsBadD) {
+  EXPECT_THROW((void)cube_connected_cycles(2), std::invalid_argument);
+  EXPECT_THROW((void)cube_connected_cycles(25), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysgo::topology

@@ -1,0 +1,64 @@
+#include "topology/de_bruijn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/search.hpp"
+#include "topology/words.hpp"
+
+namespace sysgo::topology {
+namespace {
+
+TEST(DeBruijn, Order) {
+  EXPECT_EQ(de_bruijn_order(2, 4), 16);
+  EXPECT_EQ(de_bruijn_order(3, 3), 27);
+}
+
+TEST(DeBruijn, ShiftAdjacency) {
+  const int d = 2, D = 4;
+  const auto g = de_bruijn_directed(d, D);
+  // 0110 -> {1100, 1101}
+  const std::int64_t x = word_of({0, 1, 1, 0}, 2);
+  const auto nbrs = g.out_neighbors(static_cast<int>(x));
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_TRUE(g.has_arc(static_cast<int>(x),
+                        static_cast<int>(word_of({0, 0, 1, 1}, 2))));
+  EXPECT_TRUE(g.has_arc(static_cast<int>(x),
+                        static_cast<int>(word_of({1, 0, 1, 1}, 2))));
+}
+
+TEST(DeBruijn, ConstantWordsHaveSelfLoops) {
+  const auto g = de_bruijn_directed(2, 3);
+  EXPECT_TRUE(g.has_arc(0, 0));  // 000 -> 000
+  EXPECT_TRUE(g.has_arc(7, 7));  // 111 -> 111
+  EXPECT_FALSE(g.has_arc(1, 1));
+}
+
+TEST(DeBruijn, OutDegreeIsD) {
+  const auto g = de_bruijn_directed(3, 3);
+  for (int v = 0; v < g.vertex_count(); ++v) EXPECT_EQ(g.out_degree(v), 3);
+}
+
+TEST(DeBruijn, DirectedDiameterIsD) {
+  EXPECT_EQ(graph::diameter(de_bruijn_directed(2, 4)), 4);
+  EXPECT_EQ(graph::diameter(de_bruijn_directed(3, 3)), 3);
+}
+
+TEST(DeBruijn, UndirectedDiameterIsD) {
+  EXPECT_EQ(graph::diameter(de_bruijn(2, 4)), 4);
+}
+
+TEST(DeBruijn, StronglyConnected) {
+  EXPECT_TRUE(graph::is_strongly_connected(de_bruijn_directed(2, 5)));
+}
+
+TEST(DeBruijn, UndirectedSymmetric) {
+  EXPECT_TRUE(de_bruijn(2, 4).is_symmetric());
+}
+
+TEST(DeBruijn, RejectsBadParameters) {
+  EXPECT_THROW((void)de_bruijn_directed(1, 4), std::invalid_argument);
+  EXPECT_THROW((void)de_bruijn_directed(2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysgo::topology

@@ -1,0 +1,107 @@
+// Parameterized structural sweep across every paper family and a grid of
+// (d, D): order formulas, degree regularity, connectivity, symmetry flags.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+
+#include "graph/search.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/de_bruijn.hpp"
+#include "topology/kautz.hpp"
+#include "topology/topology.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace sysgo::topology {
+namespace {
+
+struct SweepParam {
+  Family family;
+  int d;
+  int D;
+};
+
+std::int64_t expected_order(const SweepParam& p) {
+  switch (p.family) {
+    case Family::kButterfly: return butterfly_order(p.d, p.D);
+    case Family::kWrappedButterflyDirected:
+    case Family::kWrappedButterfly: return wrapped_butterfly_order(p.d, p.D);
+    case Family::kDeBruijnDirected:
+    case Family::kDeBruijn: return de_bruijn_order(p.d, p.D);
+    case Family::kKautzDirected:
+    case Family::kKautz: return kautz_order(p.d, p.D);
+  }
+  return -1;
+}
+
+class FamilySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(FamilySweep, StructuralInvariants) {
+  const auto p = GetParam();
+  const auto g = make_family(p.family, p.d, p.D);
+
+  // Order formula.
+  EXPECT_EQ(g.vertex_count(), expected_order(p));
+
+  // Symmetry flag agrees with the digraph.
+  EXPECT_EQ(g.is_symmetric(), family_is_symmetric(p.family));
+
+  // Strong connectivity (all these families are).
+  EXPECT_TRUE(graph::is_strongly_connected(g));
+
+  // Degree bounds: out-degree d for directed families; 2d for the
+  // symmetric closures; the Butterfly's end levels have degree d.
+  const int max_out = g.max_out_degree();
+  if (family_is_symmetric(p.family))
+    EXPECT_LE(max_out, 2 * p.d);
+  else
+    EXPECT_EQ(max_out, p.d);
+
+  // Diameter is logarithmic: between log_d(n) - 2 and 2.5·log_d(n) + 3.
+  const double logd_n =
+      std::log(static_cast<double>(g.vertex_count())) / std::log(p.d);
+  const int diam = graph::diameter(g);
+  EXPECT_GE(diam, static_cast<int>(logd_n) - 2);
+  EXPECT_LE(diam, static_cast<int>(2.5 * logd_n) + 3);
+}
+
+TEST_P(FamilySweep, SelfLoopPolicy) {
+  const auto p = GetParam();
+  const auto g = make_family(p.family, p.d, p.D);
+  int loops = 0;
+  for (int v = 0; v < g.vertex_count(); ++v)
+    if (g.has_arc(v, v)) ++loops;
+  switch (p.family) {
+    case Family::kDeBruijnDirected:
+    case Family::kDeBruijn:
+      EXPECT_EQ(loops, p.d);  // the d constant words
+      break;
+    default:
+      EXPECT_EQ(loops, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FamilySweep,
+    ::testing::Values(
+        SweepParam{Family::kButterfly, 2, 3}, SweepParam{Family::kButterfly, 3, 3},
+        SweepParam{Family::kWrappedButterflyDirected, 2, 4},
+        SweepParam{Family::kWrappedButterflyDirected, 3, 3},
+        SweepParam{Family::kWrappedButterfly, 2, 4},
+        SweepParam{Family::kWrappedButterfly, 3, 3},
+        SweepParam{Family::kDeBruijnDirected, 2, 6},
+        SweepParam{Family::kDeBruijnDirected, 3, 4},
+        SweepParam{Family::kDeBruijn, 2, 6}, SweepParam{Family::kDeBruijn, 3, 4},
+        SweepParam{Family::kKautzDirected, 2, 5},
+        SweepParam{Family::kKautzDirected, 3, 4},
+        SweepParam{Family::kKautz, 2, 5}, SweepParam{Family::kKautz, 3, 4}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name = family_name(info.param.family, info.param.d) + "_D" +
+                         std::to_string(info.param.D);
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace sysgo::topology

@@ -1,0 +1,81 @@
+#include "topology/kautz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/search.hpp"
+
+namespace sysgo::topology {
+namespace {
+
+TEST(Kautz, Order) {
+  EXPECT_EQ(kautz_order(2, 3), 3 * 4);
+  EXPECT_EQ(kautz_order(3, 3), 4 * 9);
+}
+
+TEST(Kautz, WordsAreValidAndComplete) {
+  const auto words = kautz_words(2, 3);
+  EXPECT_EQ(words.size(), static_cast<std::size_t>(kautz_order(2, 3)));
+  std::set<std::vector<int>> unique(words.begin(), words.end());
+  EXPECT_EQ(unique.size(), words.size());
+  for (const auto& w : words) {
+    ASSERT_EQ(w.size(), 3u);
+    for (std::size_t i = 0; i + 1 < w.size(); ++i) EXPECT_NE(w[i], w[i + 1]);
+    for (int digit : w) {
+      EXPECT_GE(digit, 0);
+      EXPECT_LE(digit, 2);
+    }
+  }
+}
+
+TEST(Kautz, OutDegreeIsD) {
+  const auto g = kautz_directed(2, 4);
+  for (int v = 0; v < g.vertex_count(); ++v) EXPECT_EQ(g.out_degree(v), 2);
+}
+
+TEST(Kautz, InDegreeIsD) {
+  const auto g = kautz_directed(3, 3);
+  for (int v = 0; v < g.vertex_count(); ++v) EXPECT_EQ(g.in_degree(v), 3);
+}
+
+TEST(Kautz, NoSelfLoops) {
+  const auto g = kautz_directed(2, 4);
+  for (int v = 0; v < g.vertex_count(); ++v) EXPECT_FALSE(g.has_arc(v, v));
+}
+
+TEST(Kautz, DirectedDiameterIsD) {
+  EXPECT_EQ(graph::diameter(kautz_directed(2, 3)), 3);
+  EXPECT_EQ(graph::diameter(kautz_directed(2, 4)), 4);
+}
+
+TEST(Kautz, StronglyConnected) {
+  EXPECT_TRUE(graph::is_strongly_connected(kautz_directed(2, 4)));
+  EXPECT_TRUE(graph::is_strongly_connected(kautz_directed(3, 3)));
+}
+
+TEST(Kautz, UndirectedSymmetric) { EXPECT_TRUE(kautz(2, 3).is_symmetric()); }
+
+TEST(Kautz, NeighborsAreShifts) {
+  const int d = 2, D = 3;
+  const auto g = kautz_directed(d, D);
+  const auto words = kautz_words(d, D);
+  for (int v = 0; v < g.vertex_count(); ++v) {
+    for (int w : g.out_neighbors(v)) {
+      const auto& from = words[static_cast<std::size_t>(v)];
+      const auto& to = words[static_cast<std::size_t>(w)];
+      // to = shift-left(from) with a fresh last digit.
+      for (int j = 1; j < D; ++j)
+        EXPECT_EQ(to[static_cast<std::size_t>(j)], from[static_cast<std::size_t>(j) - 1]);
+      EXPECT_NE(to[0], from[0]);
+    }
+  }
+}
+
+TEST(Kautz, RejectsBadParameters) {
+  EXPECT_THROW((void)kautz_directed(1, 3), std::invalid_argument);
+  EXPECT_THROW((void)kautz_directed(2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysgo::topology

@@ -1,0 +1,59 @@
+#include "topology/knodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/search.hpp"
+
+namespace sysgo::topology {
+namespace {
+
+TEST(Knodel, MaxDelta) {
+  EXPECT_EQ(knodel_max_delta(2), 1);
+  EXPECT_EQ(knodel_max_delta(8), 3);
+  EXPECT_EQ(knodel_max_delta(10), 3);
+  EXPECT_EQ(knodel_max_delta(16), 4);
+}
+
+TEST(Knodel, IndexRoundTrip) {
+  for (int idx = 0; idx < 20; ++idx) {
+    const auto v = knodel_vertex(idx);
+    EXPECT_EQ(knodel_index(v.side, v.j), idx);
+    EXPECT_TRUE(v.side == 0 || v.side == 1);
+  }
+}
+
+TEST(Knodel, DeltaRegularBipartite) {
+  const int n = 16, delta = 4;
+  const auto g = knodel(delta, n);
+  EXPECT_TRUE(g.is_symmetric());
+  for (int v = 0; v < n; ++v) EXPECT_EQ(g.out_degree(v), delta);
+  // Bipartite: every arc joins side 0 and side 1.
+  for (const auto& a : g.arcs())
+    EXPECT_NE(knodel_vertex(a.tail).side, knodel_vertex(a.head).side);
+}
+
+TEST(Knodel, DimensionZeroIsJToJ) {
+  const auto g = knodel(1, 8);
+  for (int j = 0; j < 4; ++j)
+    EXPECT_TRUE(g.has_arc(knodel_index(0, j), knodel_index(1, j)));
+}
+
+TEST(Knodel, Connected) {
+  EXPECT_TRUE(graph::is_strongly_connected(knodel(3, 8)));
+  EXPECT_TRUE(graph::is_strongly_connected(knodel(4, 20)));
+}
+
+TEST(Knodel, LogarithmicDiameter) {
+  const auto g = knodel(knodel_max_delta(32), 32);
+  EXPECT_LE(graph::diameter(g), 2 * 5 + 1);
+  EXPECT_GE(graph::diameter(g), 3);
+}
+
+TEST(Knodel, RejectsBadParameters) {
+  EXPECT_THROW((void)knodel(1, 7), std::invalid_argument);   // odd n
+  EXPECT_THROW((void)knodel(0, 8), std::invalid_argument);   // delta < 1
+  EXPECT_THROW((void)knodel(4, 8), std::invalid_argument);   // delta > log2 n
+}
+
+}  // namespace
+}  // namespace sysgo::topology

@@ -1,0 +1,51 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/search.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/de_bruijn.hpp"
+#include "topology/kautz.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace sysgo::topology {
+namespace {
+
+TEST(Registry, NamesMatchPaperNotation) {
+  EXPECT_EQ(family_name(Family::kButterfly, 2), "BF(2,D)");
+  EXPECT_EQ(family_name(Family::kWrappedButterfly, 3), "WBF(3,D)");
+  EXPECT_EQ(family_name(Family::kDeBruijnDirected, 2), "DB->(2,D)");
+  EXPECT_EQ(family_name(Family::kKautz, 2), "K(2,D)");
+}
+
+TEST(Registry, FactoryOrdersMatchDirectConstructors) {
+  EXPECT_EQ(make_family(Family::kButterfly, 2, 3).vertex_count(),
+            butterfly(2, 3).vertex_count());
+  EXPECT_EQ(make_family(Family::kWrappedButterfly, 2, 3).vertex_count(),
+            wrapped_butterfly(2, 3).vertex_count());
+  EXPECT_EQ(make_family(Family::kDeBruijn, 2, 4).vertex_count(),
+            de_bruijn(2, 4).vertex_count());
+  EXPECT_EQ(make_family(Family::kKautzDirected, 2, 3).vertex_count(),
+            kautz_directed(2, 3).vertex_count());
+}
+
+TEST(Registry, SymmetryFlagsMatchGraphs) {
+  for (Family f : {Family::kButterfly, Family::kWrappedButterflyDirected,
+                   Family::kWrappedButterfly, Family::kDeBruijnDirected,
+                   Family::kDeBruijn, Family::kKautzDirected, Family::kKautz}) {
+    const auto g = make_family(f, 2, 3);
+    EXPECT_EQ(g.is_symmetric(), family_is_symmetric(f)) << family_name(f, 2);
+  }
+}
+
+TEST(Registry, AllFamiliesStronglyConnected) {
+  for (Family f : {Family::kButterfly, Family::kWrappedButterflyDirected,
+                   Family::kWrappedButterfly, Family::kDeBruijnDirected,
+                   Family::kDeBruijn, Family::kKautzDirected, Family::kKautz}) {
+    EXPECT_TRUE(graph::is_strongly_connected(make_family(f, 2, 3)))
+        << family_name(f, 2);
+  }
+}
+
+}  // namespace
+}  // namespace sysgo::topology

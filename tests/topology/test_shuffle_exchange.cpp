@@ -1,0 +1,68 @@
+#include "topology/shuffle_exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/search.hpp"
+
+namespace sysgo::topology {
+namespace {
+
+TEST(ShuffleExchange, CyclicShift) {
+  // 1011 (D=4) -> 0111.
+  EXPECT_EQ(cyclic_shift_left(0b1011, 4), 0b0111);
+  EXPECT_EQ(cyclic_shift_left(0b1000, 4), 0b0001);
+  EXPECT_EQ(cyclic_shift_left(0b0000, 4), 0b0000);
+  EXPECT_EQ(cyclic_shift_left(0b1111, 4), 0b1111);
+}
+
+TEST(ShuffleExchange, ShiftIsBijective) {
+  const int D = 5;
+  std::vector<char> seen(1 << D, 0);
+  for (std::int64_t w = 0; w < (1 << D); ++w) {
+    const auto s = cyclic_shift_left(w, D);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(s)]);
+    seen[static_cast<std::size_t>(s)] = 1;
+  }
+}
+
+TEST(ShuffleExchange, ExchangeArcsPresent) {
+  const auto g = shuffle_exchange_directed(4);
+  for (int w = 0; w < 16; ++w) {
+    EXPECT_TRUE(g.has_arc(w, w ^ 1));
+    EXPECT_TRUE(g.has_arc(w ^ 1, w));
+  }
+}
+
+TEST(ShuffleExchange, ShuffleArcsPresent) {
+  const int D = 4;
+  const auto g = shuffle_exchange_directed(D);
+  EXPECT_TRUE(g.has_arc(0b0011, 0b0110));
+  EXPECT_TRUE(g.has_arc(0b1001, 0b0011));
+  // Constant words have no self shuffle arc.
+  EXPECT_FALSE(g.has_arc(0, 0));
+}
+
+TEST(ShuffleExchange, DegreeAtMostThree) {
+  const auto g = shuffle_exchange(5);
+  for (int v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_LE(g.out_degree(v), 3);
+    EXPECT_GE(g.out_degree(v), 1);
+  }
+}
+
+TEST(ShuffleExchange, Connected) {
+  EXPECT_TRUE(graph::is_strongly_connected(shuffle_exchange(4)));
+  EXPECT_TRUE(graph::is_strongly_connected(shuffle_exchange_directed(4)));
+}
+
+TEST(ShuffleExchange, UndirectedSymmetric) {
+  EXPECT_TRUE(shuffle_exchange(4).is_symmetric());
+}
+
+TEST(ShuffleExchange, RejectsBadD) {
+  EXPECT_THROW((void)shuffle_exchange_directed(1), std::invalid_argument);
+  EXPECT_THROW((void)shuffle_exchange_directed(30), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysgo::topology

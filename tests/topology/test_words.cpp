@@ -1,0 +1,53 @@
+#include "topology/words.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sysgo::topology {
+namespace {
+
+TEST(Words, Ipow) {
+  EXPECT_EQ(ipow(2, 0), 1);
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(3, 4), 81);
+  EXPECT_EQ(ipow(5, 1), 5);
+}
+
+TEST(Words, DigitExtraction) {
+  // 1201 in base 3 = 1*27 + 2*9 + 0*3 + 1 = 46.
+  const std::int64_t w = 46;
+  EXPECT_EQ(digit(w, 0, 3), 1);
+  EXPECT_EQ(digit(w, 1, 3), 0);
+  EXPECT_EQ(digit(w, 2, 3), 2);
+  EXPECT_EQ(digit(w, 3, 3), 1);
+}
+
+TEST(Words, WithDigitReplaces) {
+  const std::int64_t w = 46;  // 1201 base 3
+  EXPECT_EQ(digit(with_digit(w, 1, 2, 3), 1, 3), 2);
+  EXPECT_EQ(with_digit(w, 0, 1, 3), w);  // replacing with same value
+  // Other digits untouched.
+  const auto w2 = with_digit(w, 2, 0, 3);
+  EXPECT_EQ(digit(w2, 0, 3), 1);
+  EXPECT_EQ(digit(w2, 1, 3), 0);
+  EXPECT_EQ(digit(w2, 2, 3), 0);
+  EXPECT_EQ(digit(w2, 3, 3), 1);
+}
+
+TEST(Words, RoundTrip) {
+  for (std::int64_t w = 0; w < 81; ++w) {
+    const auto d = digits_of(w, 4, 3);
+    EXPECT_EQ(word_of(d, 3), w);
+  }
+}
+
+TEST(Words, DigitsOfOrdering) {
+  // digits_of uses index 0 = least significant.
+  const auto d = digits_of(6, 3, 2);  // 110 base 2
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], 1);
+}
+
+}  // namespace
+}  // namespace sysgo::topology

@@ -1,0 +1,72 @@
+#include "topology/wrapped_butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/search.hpp"
+#include "topology/words.hpp"
+
+namespace sysgo::topology {
+namespace {
+
+TEST(WrappedButterfly, Order) {
+  EXPECT_EQ(wrapped_butterfly_order(2, 3), 3 * 8);
+  EXPECT_EQ(wrapped_butterfly_order(3, 2), 2 * 9);
+}
+
+TEST(WrappedButterfly, DirectedOutDegreeIsD) {
+  const auto g = wrapped_butterfly_directed(2, 3);
+  for (int v = 0; v < g.vertex_count(); ++v) EXPECT_EQ(g.out_degree(v), 2);
+}
+
+TEST(WrappedButterfly, DirectedInDegreeIsD) {
+  const auto g = wrapped_butterfly_directed(3, 3);
+  for (int v = 0; v < g.vertex_count(); ++v) EXPECT_EQ(g.in_degree(v), 3);
+}
+
+TEST(WrappedButterfly, ArcsDescendOneLevelWithWrap) {
+  const int d = 2, D = 4;
+  const auto g = wrapped_butterfly_directed(d, D);
+  for (int idx = 0; idx < g.vertex_count(); ++idx) {
+    const auto u = wrapped_butterfly_vertex(idx, d, D);
+    for (int widx : g.out_neighbors(idx)) {
+      const auto w = wrapped_butterfly_vertex(widx, d, D);
+      EXPECT_EQ(w.level, (u.level + D - 1) % D);
+    }
+  }
+}
+
+TEST(WrappedButterfly, DirectedStronglyConnected) {
+  EXPECT_TRUE(graph::is_strongly_connected(wrapped_butterfly_directed(2, 3)));
+  EXPECT_TRUE(graph::is_strongly_connected(wrapped_butterfly_directed(2, 4)));
+}
+
+TEST(WrappedButterfly, UndirectedIsSymmetricClosure) {
+  const auto gd = wrapped_butterfly_directed(2, 3);
+  const auto gu = wrapped_butterfly(2, 3);
+  EXPECT_TRUE(gu.is_symmetric());
+  EXPECT_EQ(gu.arc_count(), 2 * gd.arc_count());
+  for (const auto& a : gd.arcs()) {
+    EXPECT_TRUE(gu.has_arc(a.tail, a.head));
+    EXPECT_TRUE(gu.has_arc(a.head, a.tail));
+  }
+}
+
+TEST(WrappedButterfly, DirectedDiameterAtMost2DMinus1) {
+  // Any digit rewrite needs a full pass; 2D-1 suffices for all pairs.
+  EXPECT_LE(graph::diameter(wrapped_butterfly_directed(2, 3)), 2 * 3 - 1 + 3);
+  // And the directed distance from a level-(D-1) vertex to a level-0 vertex
+  // differing in digit D-1 is exactly 2D-1.
+  const int d = 2, D = 3;
+  const auto g = wrapped_butterfly_directed(d, D);
+  const int u = wrapped_butterfly_index(0, D - 1, d, D);                // word 00..0
+  const int v = wrapped_butterfly_index(ipow(d, D - 1), 0, d, D);       // top digit 1
+  EXPECT_EQ(graph::distance(g, u, v), 2 * D - 1);
+}
+
+TEST(WrappedButterfly, RejectsBadParameters) {
+  EXPECT_THROW((void)wrapped_butterfly_directed(2, 1), std::invalid_argument);
+  EXPECT_THROW((void)wrapped_butterfly_directed(0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysgo::topology

@@ -1,0 +1,61 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace sysgo::util {
+namespace {
+
+TEST(Parallel, HardwareThreadsPositive) { EXPECT_GE(hardware_threads(), 1u); }
+
+TEST(Parallel, EmptyRangeDoesNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, VisitsEveryIndexExactlyOnceSerialFallback) {
+  std::vector<int> hits(100, 0);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; }, /*min_grain=*/1024);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, VisitsEveryIndexExactlyOnceParallel) {
+  std::vector<std::atomic<int>> hits(20'000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; }, /*min_grain=*/16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, RespectsSubrange) {
+  std::atomic<long> sum{0};
+  parallel_for(10, 20, [&](std::size_t i) { sum += static_cast<long>(i); },
+               /*min_grain=*/1);
+  EXPECT_EQ(sum.load(), 10 + 11 + 12 + 13 + 14 + 15 + 16 + 17 + 18 + 19);
+}
+
+TEST(Parallel, BlockVariantCoversRangeWithoutOverlap) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for_blocks(
+      0, hits.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LE(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      },
+      /*min_grain=*/8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, LargeGrainRunsSingleBlock) {
+  std::atomic<int> blocks{0};
+  parallel_for_blocks(
+      0, 100, [&](std::size_t, std::size_t) { ++blocks; }, /*min_grain=*/1000);
+  EXPECT_EQ(blocks.load(), 1);
+}
+
+}  // namespace
+}  // namespace sysgo::util

@@ -1,0 +1,65 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace sysgo::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntHitsEndpoints) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 3));
+  EXPECT_EQ(seen, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(5);
+  auto perm = rng.permutation(50);
+  std::sort(perm.begin(), perm.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(perm[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, FlipExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.flip(0.0));
+    EXPECT_TRUE(rng.flip(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace sysgo::util

@@ -1,0 +1,138 @@
+// sysgo command-line interface.
+//
+//   sysgo bound <s|inf> [half|full]       general coefficient e(s)
+//   sysgo table <fig4|fig5|fig6|fig8>     reproduce a paper table (CSV)
+//   sysgo audit <schedule-file>           certify a lower bound
+//   sysgo simulate <schedule-file> [max]  measured gossip time
+//   sysgo topology <name> <d> <D>         emit a network as sysgo-digraph
+//
+// Schedule files use the io/protocol_text format ("sysgo-schedule v1").
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/audit.hpp"
+#include "core/bounds.hpp"
+#include "io/csv.hpp"
+#include "io/graph_text.hpp"
+#include "io/protocol_text.hpp"
+#include "simulator/gossip_sim.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sysgo bound <s|inf> [half|full]\n"
+               "  sysgo table <fig4|fig5|fig6|fig8>\n"
+               "  sysgo audit <schedule-file>\n"
+               "  sysgo simulate <schedule-file> [max-rounds]\n"
+               "  sysgo topology <bf|wbf|wbf-dir|db|db-dir|kautz|kautz-dir> <d> <D>\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int cmd_bound(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const int s = std::strcmp(argv[0], "inf") == 0 ? sysgo::core::kUnboundedPeriod
+                                                 : std::atoi(argv[0]);
+  const auto duplex = (argc >= 2 && std::strcmp(argv[1], "full") == 0)
+                          ? sysgo::core::Duplex::kFull
+                          : sysgo::core::Duplex::kHalf;
+  const double lam = sysgo::core::lambda_star(s, duplex);
+  std::printf("s=%s duplex=%s lambda*=%.9f e(s)=%.6f\n", argv[0],
+              duplex == sysgo::core::Duplex::kFull ? "full" : "half", lam,
+              sysgo::core::e_coefficient(lam));
+  return 0;
+}
+
+int cmd_table(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string which = argv[0];
+  std::string csv;
+  if (which == "fig4") csv = sysgo::io::fig4_csv();
+  else if (which == "fig5") csv = sysgo::io::fig5_csv();
+  else if (which == "fig6") csv = sysgo::io::fig6_csv();
+  else if (which == "fig8") csv = sysgo::io::fig8_csv();
+  else return usage();
+  std::fputs(csv.c_str(), stdout);
+  return 0;
+}
+
+int cmd_audit(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto sched = sysgo::io::parse_schedule(read_file(argv[0]));
+  const auto valid = sysgo::protocol::validate_structure(sched);
+  if (!valid.ok) {
+    std::fprintf(stderr, "invalid schedule: %s\n", valid.message.c_str());
+    return 1;
+  }
+  const auto res = sysgo::core::audit_schedule(sched);
+  std::printf("n=%d period=%d lambda*=%.6f e=%.4f certified-rounds>=%d "
+              "worst-vertex=%d\n",
+              sched.n, sched.period_length(), res.lambda_star, res.e_coeff,
+              res.round_lower_bound, res.worst_vertex);
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto sched = sysgo::io::parse_schedule(read_file(argv[0]));
+  const int max_rounds = argc >= 2 ? std::atoi(argv[1]) : 1 << 20;
+  const int t = sysgo::simulator::gossip_time(sched, max_rounds);
+  if (t < 0) {
+    std::printf("gossip incomplete after %d rounds\n", max_rounds);
+    return 1;
+  }
+  std::printf("gossip complete after %d rounds\n", t);
+  return 0;
+}
+
+int cmd_topology(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string name = argv[0];
+  const int d = std::atoi(argv[1]);
+  const int D = std::atoi(argv[2]);
+  using sysgo::topology::Family;
+  Family f;
+  if (name == "bf") f = Family::kButterfly;
+  else if (name == "wbf") f = Family::kWrappedButterfly;
+  else if (name == "wbf-dir") f = Family::kWrappedButterflyDirected;
+  else if (name == "db") f = Family::kDeBruijn;
+  else if (name == "db-dir") f = Family::kDeBruijnDirected;
+  else if (name == "kautz") f = Family::kKautz;
+  else if (name == "kautz-dir") f = Family::kKautzDirected;
+  else return usage();
+  const auto g = sysgo::topology::make_family(f, d, D);
+  std::fputs(sysgo::io::serialize(g).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "bound") return cmd_bound(argc - 2, argv + 2);
+    if (cmd == "table") return cmd_table(argc - 2, argv + 2);
+    if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
+    if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
+    if (cmd == "topology") return cmd_topology(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
