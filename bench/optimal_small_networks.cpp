@@ -46,9 +46,8 @@ void print_optimal_table() {
     if (c.search_half) {
       const auto half = sysgo::analysis::optimal_gossip(c.g, Mode::kHalfDuplex, 24,
                                                         kStateBudget);
-      half_cell = half.budget_exhausted ? ">" + std::to_string(half.rounds)
+      half_cell = half.budget_exhausted ? std::string("(budget)")
                                         : std::to_string(half.rounds);
-      if (half.budget_exhausted) half_cell = "(budget)";
     }
     const double lb =
         1.4404 * std::log2(static_cast<double>(c.g.vertex_count()));

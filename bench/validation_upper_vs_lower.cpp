@@ -3,6 +3,9 @@
 // e(s)·log2(n) coefficients.  Reproduces the paper's upper-vs-lower "shape":
 // the certified bound always sits below the measured time, and the audit's
 // per-vertex refinement is at least as strong as the general e(s).
+//
+// The corpus runs through engine::run_cases (simulate + audit per case on
+// the sweep engine's thread pool) instead of a bespoke measure/audit loop.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "core/audit.hpp"
+#include "engine/sweep.hpp"
 #include "protocol/builders.hpp"
 #include "protocol/classic_protocols.hpp"
 #include "simulator/gossip_sim.hpp"
@@ -24,14 +28,8 @@ namespace {
 
 using sysgo::protocol::Mode;
 
-struct Case {
-  std::string name;
-  sysgo::protocol::SystolicSchedule sched;
-  int max_rounds;
-};
-
-std::vector<Case> corpus() {
-  std::vector<Case> cases;
+std::vector<sysgo::engine::ScheduleCase> corpus() {
+  std::vector<sysgo::engine::ScheduleCase> cases;
   cases.push_back({"path(32) hd", sysgo::protocol::path_schedule(32, Mode::kHalfDuplex),
                    2000});
   cases.push_back({"cycle(32) hd",
@@ -68,18 +66,19 @@ void print_validation() {
   std::printf("=== Validation: measured systolic gossip vs certified bounds ===\n\n");
   sysgo::util::Table table({"protocol", "n", "s", "measured t", "cert. bound",
                             "audit e", "general e(s)", "ok"});
-  for (auto& c : corpus()) {
-    const int measured = sysgo::simulator::gossip_time(c.sched, c.max_rounds);
-    const auto audit = sysgo::core::audit_schedule(c.sched);
-    const int s = c.sched.period_length();
-    const auto duplex = c.sched.mode == Mode::kFullDuplex
-                            ? sysgo::core::Duplex::kFull
-                            : sysgo::core::Duplex::kHalf;
-    const double gen = s >= 3 ? sysgo::core::e_general(s, duplex) : 0.0;
-    const bool ok = measured > 0 && audit.round_lower_bound <= measured;
-    table.add_row({c.name, std::to_string(c.sched.n), std::to_string(s),
-                   std::to_string(measured), std::to_string(audit.round_lower_bound),
-                   sysgo::util::format_fixed(audit.e_coeff, 4),
+  const auto cases = corpus();
+  const auto records = sysgo::engine::run_cases(cases);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    const double gen =
+        r.s >= 3 ? sysgo::core::e_general(
+                       r.s, sysgo::engine::duplex_of(cases[i].schedule.mode))
+                 : 0.0;
+    const bool ok = r.measured > 0 && r.audit.round_lower_bound <= r.measured;
+    table.add_row({r.name, std::to_string(r.n), std::to_string(r.s),
+                   std::to_string(r.measured),
+                   std::to_string(r.audit.round_lower_bound),
+                   sysgo::util::format_fixed(r.audit.e_coeff, 4),
                    sysgo::util::format_fixed(gen, 4), ok ? "yes" : "NO"});
   }
   std::printf("%s\n", table.str().c_str());

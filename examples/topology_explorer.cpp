@@ -2,22 +2,24 @@
 // report size/degree/diameter, verify its Lemma 3.1 separator empirically,
 // and print the Theorem 5.1 coefficients the separator yields.
 //
+// The per-family work runs through the sweep engine: one explicit scenario
+// key per family with separator-check and bound tasks, instead of a
+// hand-rolled loop over constructors.
+//
 //   $ ./topology_explorer
-#include <cmath>
 #include <cstdio>
 
-#include "core/separator_bound.hpp"
-#include "graph/search.hpp"
-#include "separator/separator.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace sysgo;
   using topology::Family;
+  using engine::Task;
 
-  util::Table table({"network", "D", "n", "diam", "sep dist", "min|Vi|",
-                     "e(4)", "e(inf)"});
-  const std::vector<std::pair<Family, int>> families = {
+  // The dimension each family is explored at (d = 2 throughout).
+  const std::vector<std::pair<Family, int>> members = {
       {Family::kButterfly, 3},
       {Family::kWrappedButterflyDirected, 4},
       {Family::kWrappedButterfly, 4},
@@ -26,19 +28,27 @@ int main() {
       {Family::kKautzDirected, 5},
       {Family::kKautz, 5},
   };
-  for (const auto& [family, D] : families) {
-    const int d = 2;
-    const auto g = topology::make_family(family, d, D);
-    const auto sep = separator::build_separator(family, d, D);
-    const auto chk = separator::verify_separator(g, sep);
-    const auto e4 = core::separator_bound(family, d, 4, core::Duplex::kHalf);
-    const auto einf =
-        core::separator_bound(family, d, core::kUnboundedPeriod, core::Duplex::kHalf);
-    table.add_row({topology::family_name(family, d), std::to_string(D),
-                   std::to_string(g.vertex_count()),
-                   std::to_string(graph::diameter(g)),
-                   std::to_string(chk.min_distance),
-                   std::to_string(std::min(chk.size1, chk.size2)),
+
+  engine::ScenarioSpec spec;
+  for (const auto& [family, D] : members)
+    spec.explicit_keys.push_back({family, 2, D, protocol::Mode::kHalfDuplex});
+  spec.tasks = {Task::kSeparatorCheck, Task::kBound};
+  spec.periods = {4, core::kUnboundedPeriod};
+
+  engine::SweepRunner runner;
+  const auto records = runner.run(spec);
+
+  // Per key: a separator-check record, then bound records at s=4 and s=∞.
+  util::Table table({"network", "D", "n", "diam", "sep dist", "min|Vi|",
+                     "e(4)", "e(inf)"});
+  for (std::size_t i = 0; i + 3 <= records.size(); i += 3) {
+    const auto& sep = records[i];
+    const auto& e4 = records[i + 1];
+    const auto& einf = records[i + 2];
+    table.add_row({topology::family_name(sep.key.family, sep.key.d),
+                   std::to_string(sep.key.D), std::to_string(sep.n),
+                   std::to_string(sep.diameter), std::to_string(sep.sep_distance),
+                   std::to_string(sep.sep_min_size),
                    util::format_fixed(e4.e, 4), util::format_fixed(einf.e, 4)});
   }
   std::printf("%s", table.str().c_str());

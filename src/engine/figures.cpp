@@ -1,0 +1,77 @@
+#include "engine/figures.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/tables.hpp"
+#include "engine/sweep.hpp"
+#include "io/csv.hpp"
+#include "util/table.hpp"
+
+namespace sysgo::engine {
+
+namespace {
+
+const std::vector<int> kFig5Periods{3, 4, 5, 6, 7, 8};
+
+}  // namespace
+
+ScenarioSpec fig5_spec() {
+  ScenarioSpec spec;
+  spec.families = all_families();
+  spec.degrees = {2, 3};
+  spec.modes = {protocol::Mode::kHalfDuplex};
+  spec.periods = kFig5Periods;
+  spec.tasks = {Task::kBound};
+  return spec;
+}
+
+ScenarioSpec fig6_spec() {
+  ScenarioSpec spec;
+  spec.families = all_families();
+  spec.degrees = {2, 3};
+  spec.modes = {protocol::Mode::kHalfDuplex};
+  spec.periods = {core::kUnboundedPeriod};
+  spec.tasks = {Task::kBound, Task::kDiameterBound};
+  return spec;
+}
+
+std::string fig5_csv(SweepRunner& runner) {
+  const auto records = runner.run(fig5_spec());
+  std::ostringstream out;
+  std::vector<std::string> header{"network", "d", "alpha", "ell"};
+  for (int s : kFig5Periods) header.push_back("e_s" + core::period_label(s));
+  out << io::csv_line(header);
+  // Expansion order groups one row's periods consecutively per (family, d).
+  const std::size_t per_row = kFig5Periods.size();
+  for (std::size_t i = 0; i + per_row <= records.size(); i += per_row) {
+    const SweepRecord& first = records[i];
+    std::vector<std::string> cells{
+        topology::family_name(first.key.family, first.key.d),
+        std::to_string(first.key.d), util::format_fixed(first.alpha, 6),
+        util::format_fixed(first.ell, 6)};
+    for (std::size_t j = 0; j < per_row; ++j)
+      cells.push_back(util::format_fixed(records[i + j].e, 4));
+    out << io::csv_line(cells);
+  }
+  return out.str();
+}
+
+std::string fig6_csv(SweepRunner& runner) {
+  const auto records = runner.run(fig6_spec());
+  std::ostringstream out;
+  out << io::csv_line({"network", "d", "e_matrix", "e_diameter", "e_best"});
+  // Per (family, d): a kBound record at s = ∞ followed by kDiameterBound.
+  for (std::size_t i = 0; i + 2 <= records.size(); i += 2) {
+    const SweepRecord& matrix = records[i];
+    const SweepRecord& diam = records[i + 1];
+    out << io::csv_line({topology::family_name(matrix.key.family, matrix.key.d),
+                         std::to_string(matrix.key.d),
+                         util::format_fixed(matrix.e, 4),
+                         util::format_fixed(diam.e, 4),
+                         util::format_fixed(std::max(matrix.e, diam.e), 4)});
+  }
+  return out.str();
+}
+
+}  // namespace sysgo::engine

@@ -1,0 +1,28 @@
+// The paper's per-topology tables, stated as sweep specs and formatted from
+// sweep records.  fig5_csv / fig6_csv are byte-identical to the direct
+// io::fig5_csv / io::fig6_csv generators — the parity is pinned by
+// tests/engine/test_figures.cpp and lets `sysgo sweep fig5|fig6` replace
+// `sysgo table` output without disturbing downstream consumers.
+#pragma once
+
+#include <string>
+
+#include "engine/scenario.hpp"
+
+namespace sysgo::engine {
+
+class SweepRunner;
+
+/// Fig. 5 grid: all seven families × d ∈ {2, 3}, half-duplex separator
+/// bounds at s = 3..8.
+[[nodiscard]] ScenarioSpec fig5_spec();
+
+/// Fig. 6 grid: the non-systolic (s = ∞) matrix bound plus the trivial
+/// diameter coefficient per family.
+[[nodiscard]] ScenarioSpec fig6_spec();
+
+/// CSV renderings of the sweeps, byte-identical to io::fig5_csv/fig6_csv.
+[[nodiscard]] std::string fig5_csv(SweepRunner& runner);
+[[nodiscard]] std::string fig6_csv(SweepRunner& runner);
+
+}  // namespace sysgo::engine

@@ -1,0 +1,139 @@
+#include "engine/scenario.hpp"
+
+#include <functional>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+namespace sysgo::engine {
+
+using topology::Family;
+
+std::string task_name(Task t) {
+  switch (t) {
+    case Task::kBound: return "bound";
+    case Task::kDiameterBound: return "diameter";
+    case Task::kSimulate: return "simulate";
+    case Task::kAudit: return "audit";
+    case Task::kSeparatorCheck: return "separator";
+  }
+  return "?";
+}
+
+Task parse_task_name(const std::string& name) {
+  if (name == "bound") return Task::kBound;
+  if (name == "diameter") return Task::kDiameterBound;
+  if (name == "simulate") return Task::kSimulate;
+  if (name == "audit") return Task::kAudit;
+  if (name == "separator") return Task::kSeparatorCheck;
+  throw std::invalid_argument("unknown task: " + name);
+}
+
+bool task_needs_dimension(Task t) noexcept {
+  return t == Task::kSimulate || t == Task::kAudit || t == Task::kSeparatorCheck;
+}
+
+std::size_t ScenarioKeyHash::operator()(const ScenarioKey& k) const noexcept {
+  std::size_t h = static_cast<std::size_t>(k.family);
+  h = h * 1000003u + static_cast<std::size_t>(k.d);
+  h = h * 1000003u + static_cast<std::size_t>(k.D);
+  h = h * 1000003u + static_cast<std::size_t>(k.mode);
+  return h;
+}
+
+std::vector<Family> all_families() {
+  return {Family::kButterfly,       Family::kWrappedButterflyDirected,
+          Family::kWrappedButterfly, Family::kDeBruijnDirected,
+          Family::kDeBruijn,         Family::kKautzDirected,
+          Family::kKautz};
+}
+
+std::vector<SweepJob> ScenarioSpec::expand() const {
+  std::vector<ScenarioKey> keys = explicit_keys;
+  if (keys.empty()) {
+    const std::vector<int> dims = dimensions.empty() ? std::vector<int>{0}
+                                                     : dimensions;
+    for (Family f : families)
+      for (int d : degrees)
+        for (int D : dims)
+          for (protocol::Mode m : modes) keys.push_back({f, d, D, m});
+  }
+
+  // Grid expansion emits asymptotic tasks once per (family, d, mode, task,
+  // period) with D normalized to 0, regardless of how many dimensions the
+  // grid crosses them with.  Explicit keys skip the dedup so every key
+  // produces the same task-shaped record group — consumers index explicit
+  // sweeps by a fixed per-key stride.
+  const bool dedup = explicit_keys.empty();
+  std::set<std::tuple<Family, int, int, Task, int>> seen_asymptotic;
+  std::vector<SweepJob> jobs;
+  for (const ScenarioKey& key : keys) {
+    for (Task task : tasks) {
+      if (task_needs_dimension(task)) {
+        if (key.D > 0) jobs.push_back({key, task, 0});
+        continue;
+      }
+      ScenarioKey base = key;
+      base.D = 0;
+      const std::vector<int> ss =
+          task == Task::kBound ? periods : std::vector<int>{0};
+      for (int s : ss) {
+        if (!dedup ||
+            seen_asymptotic
+                .emplace(base.family, base.d, static_cast<int>(base.mode), task, s)
+                .second)
+          jobs.push_back({base, task, s});
+      }
+    }
+  }
+  return jobs;
+}
+
+bool same_result(const SweepRecord& a, const SweepRecord& b) {
+  return a.key == b.key && a.task == b.task && a.s == b.s && a.n == b.n &&
+         a.alpha == b.alpha && a.ell == b.ell && a.e == b.e &&
+         a.lambda == b.lambda && a.rounds == b.rounds &&
+         a.diameter == b.diameter && a.sep_distance == b.sep_distance &&
+         a.sep_min_size == b.sep_min_size;
+}
+
+std::string family_token(Family f) {
+  switch (f) {
+    case Family::kButterfly: return "bf";
+    case Family::kWrappedButterflyDirected: return "wbf-dir";
+    case Family::kWrappedButterfly: return "wbf";
+    case Family::kDeBruijnDirected: return "db-dir";
+    case Family::kDeBruijn: return "db";
+    case Family::kKautzDirected: return "kautz-dir";
+    case Family::kKautz: return "kautz";
+  }
+  return "?";
+}
+
+Family parse_family_token(const std::string& token) {
+  if (token == "bf") return Family::kButterfly;
+  if (token == "wbf-dir") return Family::kWrappedButterflyDirected;
+  if (token == "wbf") return Family::kWrappedButterfly;
+  if (token == "db-dir") return Family::kDeBruijnDirected;
+  if (token == "db") return Family::kDeBruijn;
+  if (token == "kautz-dir") return Family::kKautzDirected;
+  if (token == "kautz") return Family::kKautz;
+  throw std::invalid_argument("unknown family: " + token);
+}
+
+std::string mode_name(protocol::Mode m) {
+  return m == protocol::Mode::kFullDuplex ? "full" : "half";
+}
+
+protocol::Mode parse_mode_name(const std::string& name) {
+  if (name == "half") return protocol::Mode::kHalfDuplex;
+  if (name == "full") return protocol::Mode::kFullDuplex;
+  throw std::invalid_argument("unknown mode: " + name);
+}
+
+core::Duplex duplex_of(protocol::Mode m) noexcept {
+  return m == protocol::Mode::kFullDuplex ? core::Duplex::kFull
+                                          : core::Duplex::kHalf;
+}
+
+}  // namespace sysgo::engine

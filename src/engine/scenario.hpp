@@ -1,0 +1,124 @@
+// Declarative scenario grids for the sweep engine.
+//
+// A ScenarioSpec names a grid of {family × degree d × dimension D × duplex
+// mode} scenarios and the tasks to run on each; expand() turns it into the
+// concrete job list the SweepRunner executes.  Every bench/example that
+// used to hand-roll its own families×dimensions loop states its sweep as a
+// spec instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "protocol/protocol.hpp"
+#include "topology/topology.hpp"
+
+namespace sysgo::engine {
+
+/// What to compute for a scenario.
+enum class Task {
+  kBound,           // Theorem 5.1 separator bound (asymptotic, D-independent)
+  kDiameterBound,   // trivial diameter coefficient (asymptotic, D-independent)
+  kSimulate,        // measured gossip time of the edge-coloring schedule
+  kAudit,           // Theorem 4.1 certified lower bound for the schedule
+  kSeparatorCheck,  // BFS-verify the Lemma 3.1 separator + graph stats
+};
+
+/// Stable token used in CSV/JSON output and CLI flags:
+/// "bound" | "diameter" | "simulate" | "audit" | "separator".
+[[nodiscard]] std::string task_name(Task t);
+[[nodiscard]] Task parse_task_name(const std::string& name);  // throws
+
+/// Asymptotic tasks hold for the whole family; they are emitted once per
+/// (family, d, mode) with D = 0 instead of once per dimension.
+[[nodiscard]] bool task_needs_dimension(Task t) noexcept;
+
+/// One concrete scenario: a family member at (d, D) under a duplex mode.
+/// D = 0 marks asymptotic (D-independent) jobs.
+struct ScenarioKey {
+  topology::Family family{};
+  int d = 0;
+  int D = 0;
+  protocol::Mode mode = protocol::Mode::kHalfDuplex;
+  friend bool operator==(const ScenarioKey&, const ScenarioKey&) = default;
+};
+
+struct ScenarioKeyHash {
+  [[nodiscard]] std::size_t operator()(const ScenarioKey& k) const noexcept;
+};
+
+/// One unit of work for the runner.
+struct SweepJob {
+  ScenarioKey key;
+  Task task{};
+  /// kBound: the requested period s (core::kUnboundedPeriod for s = ∞);
+  /// unused by the other tasks (their s comes from the built schedule).
+  int s = 0;
+  friend bool operator==(const SweepJob&, const SweepJob&) = default;
+};
+
+/// Declarative sweep grid.
+///
+/// expand() order is deterministic: family (outer) → degree → dimension →
+/// mode → task (spec order) → period (innermost, kBound only).  Grid
+/// expansion emits asymptotic tasks once per (family, d, mode) — at the
+/// first dimension — while explicit keys emit every task for every key so
+/// per-key record groups keep a uniform stride.  When `explicit_keys` is
+/// non-empty it replaces the family×degree×dimension×mode grid (task ×
+/// period expansion still applies per key).  An empty `dimensions` list
+/// means "asymptotic tasks only": keys get D = 0 and dimension-dependent
+/// tasks are skipped.
+struct ScenarioSpec {
+  std::vector<topology::Family> families;
+  std::vector<int> degrees;
+  std::vector<int> dimensions;
+  std::vector<protocol::Mode> modes{protocol::Mode::kHalfDuplex};
+  std::vector<int> periods;  // for kBound; may include core::kUnboundedPeriod
+  std::vector<Task> tasks;
+  std::vector<ScenarioKey> explicit_keys;
+  int simulate_max_rounds = 1 << 20;
+
+  [[nodiscard]] std::vector<SweepJob> expand() const;
+};
+
+/// The seven families of the paper's tables, in registry order.
+[[nodiscard]] std::vector<topology::Family> all_families();
+
+/// Structured result of one executed job.  Fields not meaningful for the
+/// job's task keep their sentinel defaults.
+struct SweepRecord {
+  ScenarioKey key;
+  Task task{};
+  int s = 0;       // period (kUnboundedPeriod = ∞); schedule period for
+                   // simulate/audit; 0 when not applicable
+  int n = 0;       // vertex count (0 for asymptotic tasks)
+  double alpha = 0.0;   // Lemma 3.1 separator parameters (bound/separator)
+  double ell = 0.0;
+  double e = 0.0;       // bound coefficient of log2(n) (bound/diameter/audit)
+  double lambda = 0.0;  // maximizing / certified λ
+  int rounds = -1;      // simulate: measured gossip time; audit: certified
+                        // round lower bound
+  int diameter = -1;          // separator task
+  int sep_distance = -1;      // separator task: BFS-verified distance
+  std::int64_t sep_min_size = -1;  // separator task: min(|V1|, |V2|)
+  double millis = 0.0;  // wall-clock job time
+};
+
+/// Equality of everything except wall-clock timing.
+[[nodiscard]] bool same_result(const SweepRecord& a, const SweepRecord& b);
+
+/// Stable family token for CSV/JSON output and CLI flags: "bf" | "wbf-dir" |
+/// "wbf" | "db-dir" | "db" | "kautz-dir" | "kautz".
+[[nodiscard]] std::string family_token(topology::Family f);
+[[nodiscard]] topology::Family parse_family_token(const std::string& token);  // throws
+
+/// "half" | "full".
+[[nodiscard]] std::string mode_name(protocol::Mode m);
+[[nodiscard]] protocol::Mode parse_mode_name(const std::string& name);  // throws
+
+/// The core-layer duplex discipline matching a protocol mode.
+[[nodiscard]] core::Duplex duplex_of(protocol::Mode m) noexcept;
+
+}  // namespace sysgo::engine

@@ -1,0 +1,196 @@
+#include "engine/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/separator_bound.hpp"
+#include "graph/search.hpp"
+#include "protocol/builders.hpp"
+#include "separator/separator.hpp"
+#include "simulator/gossip_sim.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sysgo::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millis_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Run body(i) for i in [0, count) honoring the options' threading choice:
+/// serial, the process-wide pool, or a private pool of `threads` lanes.
+void run_indexed_with_options(const SweepOptions& opts,
+                              util::ThreadPool* own_pool, std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (opts.threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  util::ThreadPool& pool =
+      own_pool != nullptr ? *own_pool : util::ThreadPool::instance();
+  pool.run_indexed(count, body);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ArtifactCache
+
+struct ArtifactCache::Entry {
+  std::mutex mutex;
+  std::shared_ptr<const ScenarioArtifacts> value;
+};
+
+std::shared_ptr<const ScenarioArtifacts> ArtifactCache::get_or_build(
+    const ScenarioKey& key, const Builder& build) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = map_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<Entry>();
+      ++misses_;
+    } else {
+      ++hits_;
+    }
+    entry = it->second;
+  }
+  // Build outside the map lock; concurrent requests for the same key wait
+  // here on the single build.
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (!entry->value) entry->value = build();
+  return entry->value;
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {hits_, misses_};
+}
+
+void ArtifactCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+// -------------------------------------------------------------- SweepRunner
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts)) {
+  if (opts_.threads > 1)
+    own_pool_ = std::make_unique<util::ThreadPool>(opts_.threads - 1);
+}
+
+SweepRunner::~SweepRunner() = default;
+
+std::shared_ptr<const ScenarioArtifacts> SweepRunner::artifacts(
+    const ScenarioKey& key) {
+  const auto build = [&key]() {
+    auto art = std::make_shared<ScenarioArtifacts>();
+    art->graph = topology::make_family(key.family, key.d, key.D);
+    art->schedule = protocol::edge_coloring_schedule(art->graph, key.mode);
+    return std::shared_ptr<const ScenarioArtifacts>(std::move(art));
+  };
+  if (!opts_.use_cache) return build();
+  return cache_.get_or_build(key, build);
+}
+
+SweepRecord SweepRunner::run_job(const SweepJob& job, int simulate_max_rounds) {
+  const auto t0 = Clock::now();
+  SweepRecord r;
+  r.key = job.key;
+  r.task = job.task;
+  r.s = job.s;
+  switch (job.task) {
+    case Task::kBound: {
+      const auto params = separator::lemma31_params(job.key.family, job.key.d);
+      r.alpha = params.alpha;
+      r.ell = params.ell;
+      const auto sb = core::separator_bound(job.key.family, job.key.d, job.s,
+                                            duplex_of(job.key.mode));
+      r.e = sb.e;
+      r.lambda = sb.lambda;
+      break;
+    }
+    case Task::kDiameterBound: {
+      r.e = core::diameter_coefficient(job.key.family, job.key.d);
+      break;
+    }
+    case Task::kSimulate: {
+      const auto art = artifacts(job.key);
+      r.n = art->schedule.n;
+      r.s = art->schedule.period_length();
+      r.rounds = simulator::gossip_time(art->schedule, simulate_max_rounds);
+      break;
+    }
+    case Task::kAudit: {
+      const auto art = artifacts(job.key);
+      r.n = art->schedule.n;
+      r.s = art->schedule.period_length();
+      const auto audit = core::audit_schedule(art->schedule);
+      r.lambda = audit.lambda_star;
+      r.e = audit.e_coeff;
+      r.rounds = audit.round_lower_bound;
+      break;
+    }
+    case Task::kSeparatorCheck: {
+      const auto art = artifacts(job.key);
+      r.n = art->graph.vertex_count();
+      r.diameter = graph::diameter(art->graph);
+      const auto sep =
+          separator::build_separator(job.key.family, job.key.d, job.key.D);
+      r.alpha = sep.params.alpha;
+      r.ell = sep.params.ell;
+      const auto chk = separator::verify_separator(art->graph, sep);
+      r.sep_distance = chk.min_distance;
+      r.sep_min_size =
+          static_cast<std::int64_t>(std::min(chk.size1, chk.size2));
+      break;
+    }
+  }
+  r.millis = millis_since(t0);
+  return r;
+}
+
+std::vector<SweepRecord> SweepRunner::run_jobs(const std::vector<SweepJob>& jobs,
+                                               int simulate_max_rounds) {
+  std::vector<SweepRecord> records(jobs.size());
+  run_indexed_with_options(opts_, own_pool_.get(), jobs.size(),
+                           [&](std::size_t i) {
+                             records[i] = run_job(jobs[i], simulate_max_rounds);
+                             if (opts_.on_record) opts_.on_record(i, records[i]);
+                           });
+  return records;
+}
+
+std::vector<SweepRecord> SweepRunner::run(const ScenarioSpec& spec) {
+  return run_jobs(spec.expand(), spec.simulate_max_rounds);
+}
+
+// ---------------------------------------------------------------- run_cases
+
+std::vector<CaseRecord> run_cases(const std::vector<ScheduleCase>& cases,
+                                  const SweepOptions& opts) {
+  std::unique_ptr<util::ThreadPool> own_pool;
+  if (opts.threads > 1)
+    own_pool = std::make_unique<util::ThreadPool>(opts.threads - 1);
+  std::vector<CaseRecord> records(cases.size());
+  run_indexed_with_options(opts, own_pool.get(), cases.size(),
+                           [&](std::size_t i) {
+                             const auto t0 = Clock::now();
+                             const ScheduleCase& c = cases[i];
+                             CaseRecord& r = records[i];
+                             r.name = c.name;
+                             r.n = c.schedule.n;
+                             r.s = c.schedule.period_length();
+                             r.measured =
+                                 simulator::gossip_time(c.schedule, c.max_rounds);
+                             r.audit = core::audit_schedule(c.schedule);
+                             r.millis = millis_since(t0);
+                           });
+  return records;
+}
+
+}  // namespace sysgo::engine

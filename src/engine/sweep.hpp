@@ -1,0 +1,119 @@
+// Parallel scenario-sweep runner.
+//
+// Executes the jobs of a ScenarioSpec on the persistent thread pool with a
+// keyed artifact cache: every task of one (family, d, D, mode) scenario —
+// e.g. the upper-bound simulation and the lower-bound audit — shares a
+// single build of the member digraph and its edge-coloring schedule.
+// Records come back in expansion order regardless of execution
+// interleaving, so threaded and serial sweeps produce identical output.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "engine/scenario.hpp"
+#include "graph/digraph.hpp"
+#include "protocol/systolic.hpp"
+
+namespace sysgo::util {
+class ThreadPool;
+}
+
+namespace sysgo::engine {
+
+/// Artifacts shared by every task of one scenario key.
+struct ScenarioArtifacts {
+  graph::Digraph graph;
+  protocol::SystolicSchedule schedule;  // edge-coloring schedule in key.mode
+};
+
+/// Build-once cache of scenario artifacts, safe for concurrent lookups.
+/// Concurrent requests for the same key wait on a single build.
+class ArtifactCache {
+ public:
+  using Builder = std::function<std::shared_ptr<const ScenarioArtifacts>()>;
+
+  [[nodiscard]] std::shared_ptr<const ScenarioArtifacts> get_or_build(
+      const ScenarioKey& key, const Builder& build);
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+ private:
+  struct Entry;
+  mutable std::mutex mutex_;
+  std::unordered_map<ScenarioKey, std::shared_ptr<Entry>, ScenarioKeyHash> map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+struct SweepOptions {
+  /// 0: run on the process-wide pool; 1: the job loop runs on the calling
+  /// thread (individual jobs may still use the process-wide pool
+  /// internally, e.g. diameter BFS); k > 1: a private pool with k lanes
+  /// (k - 1 workers plus the calling thread).
+  unsigned threads = 0;
+  bool use_cache = true;
+  /// Invoked as each job finishes, possibly from worker threads and out of
+  /// order; `index` is the job's position in the deterministic record list.
+  std::function<void(std::size_t index, const SweepRecord&)> on_record;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+  ~SweepRunner();
+
+  /// Expand and execute the spec.  Records are in expansion order.
+  [[nodiscard]] std::vector<SweepRecord> run(const ScenarioSpec& spec);
+
+  /// Execute a pre-expanded job list (records in job order).
+  [[nodiscard]] std::vector<SweepRecord> run_jobs(
+      const std::vector<SweepJob>& jobs, int simulate_max_rounds = 1 << 20);
+
+  [[nodiscard]] ArtifactCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  [[nodiscard]] std::shared_ptr<const ScenarioArtifacts> artifacts(
+      const ScenarioKey& key);
+  [[nodiscard]] SweepRecord run_job(const SweepJob& job,
+                                    int simulate_max_rounds);
+
+  SweepOptions opts_;
+  ArtifactCache cache_;
+  std::unique_ptr<util::ThreadPool> own_pool_;
+};
+
+/// A named concrete schedule to validate (measured time + certified audit);
+/// the corpus form used by the validation harness.
+struct ScheduleCase {
+  std::string name;
+  protocol::SystolicSchedule schedule;
+  int max_rounds = 1 << 20;
+};
+
+struct CaseRecord {
+  std::string name;
+  int n = 0;
+  int s = 0;  // schedule period
+  int measured = -1;  // gossip time; -1 when incomplete within max_rounds
+  core::AuditResult audit{};
+  double millis = 0.0;
+};
+
+/// Run every case (simulate + audit) on the pool; records in corpus order.
+[[nodiscard]] std::vector<CaseRecord> run_cases(
+    const std::vector<ScheduleCase>& cases, const SweepOptions& opts = {});
+
+}  // namespace sysgo::engine

@@ -1,5 +1,6 @@
 #include "simulator/knowledge.hpp"
 
+#include <atomic>
 #include <bit>
 
 namespace sysgo::simulator {
@@ -7,8 +8,17 @@ namespace sysgo::simulator {
 KnowledgeMatrix::KnowledgeMatrix(int n)
     : n_(n),
       words_((static_cast<std::size_t>(n) + 63) / 64),
-      bits_(static_cast<std::size_t>(n) * words_, 0) {
+      bits_(static_cast<std::size_t>(n) * words_, 0),
+      counts_(static_cast<std::size_t>(n), 0) {
   for (int v = 0; v < n; ++v) learn(v, v);  // each processor starts with its item
+}
+
+void KnowledgeMatrix::bump(int v, int added) noexcept {
+  if (added == 0) return;
+  int& c = counts_[static_cast<std::size_t>(v)];
+  c += added;
+  if (c == n_)
+    std::atomic_ref<int>(full_rows_).fetch_add(1, std::memory_order_relaxed);
 }
 
 bool KnowledgeMatrix::knows(int v, int i) const noexcept {
@@ -17,39 +27,41 @@ bool KnowledgeMatrix::knows(int v, int i) const noexcept {
 }
 
 void KnowledgeMatrix::learn(int v, int i) noexcept {
-  row_ptr(v)[static_cast<std::size_t>(i) / 64] |=
-      std::uint64_t{1} << (static_cast<std::size_t>(i) % 64);
+  std::uint64_t& word = row_ptr(v)[static_cast<std::size_t>(i) / 64];
+  const std::uint64_t bit = std::uint64_t{1} << (static_cast<std::size_t>(i) % 64);
+  if ((word & bit) == 0) {
+    word |= bit;
+    bump(v, 1);
+  }
 }
 
 void KnowledgeMatrix::merge_into(int dst, int src) noexcept {
   std::uint64_t* d = row_ptr(dst);
   const std::uint64_t* s = row_ptr(src);
-  for (std::size_t w = 0; w < words_; ++w) d[w] |= s[w];
+  int added = 0;
+  for (std::size_t w = 0; w < words_; ++w) {
+    const std::uint64_t u = d[w] | s[w];
+    added += std::popcount(u) - std::popcount(d[w]);
+    d[w] = u;
+  }
+  bump(dst, added);
 }
 
 void KnowledgeMatrix::merge_both(int a, int b) noexcept {
   std::uint64_t* ra = row_ptr(a);
   std::uint64_t* rb = row_ptr(b);
+  int added_a = 0;
+  int added_b = 0;
   for (std::size_t w = 0; w < words_; ++w) {
     const std::uint64_t u = ra[w] | rb[w];
+    const int pu = std::popcount(u);
+    added_a += pu - std::popcount(ra[w]);
+    added_b += pu - std::popcount(rb[w]);
     ra[w] = u;
     rb[w] = u;
   }
-}
-
-int KnowledgeMatrix::count(int v) const noexcept {
-  int c = 0;
-  const std::uint64_t* r = row_ptr(v);
-  for (std::size_t w = 0; w < words_; ++w) c += std::popcount(r[w]);
-  return c;
-}
-
-bool KnowledgeMatrix::row_full(int v) const noexcept { return count(v) == n_; }
-
-bool KnowledgeMatrix::all_full() const noexcept {
-  for (int v = 0; v < n_; ++v)
-    if (!row_full(v)) return false;
-  return true;
+  bump(a, added_a);
+  bump(b, added_b);
 }
 
 }  // namespace sysgo::simulator

@@ -1,6 +1,14 @@
 // Knowledge state of a gossip run: one bitset row per processor recording
 // which of the n items it currently holds.  Rows are 64-bit word packed so
 // a round's merges are word-parallel OR loops.
+//
+// Per-row item counts and the number of full rows are maintained
+// incrementally by every mutation, so count / row_full / all_full are O(1)
+// — the simulator's per-round completion check no longer rescans the
+// matrix.  Rows are only ever mutated by one thread per round (matchings
+// touch distinct heads; full-duplex pairs are disjoint), and the shared
+// full-row counter is updated with atomic increments, so parallel merges
+// stay race free.
 #pragma once
 
 #include <cstdint>
@@ -27,14 +35,16 @@ class KnowledgeMatrix {
   /// Symmetric merge: both rows become their union (full-duplex exchange).
   void merge_both(int a, int b) noexcept;
 
-  /// Number of items vertex v knows.
-  [[nodiscard]] int count(int v) const noexcept;
+  /// Number of items vertex v knows.  O(1).
+  [[nodiscard]] int count(int v) const noexcept {
+    return counts_[static_cast<std::size_t>(v)];
+  }
 
-  /// Vertex v knows all n items.
-  [[nodiscard]] bool row_full(int v) const noexcept;
+  /// Vertex v knows all n items.  O(1).
+  [[nodiscard]] bool row_full(int v) const noexcept { return count(v) == n_; }
 
-  /// All vertices know all items.
-  [[nodiscard]] bool all_full() const noexcept;
+  /// All vertices know all items.  O(1).
+  [[nodiscard]] bool all_full() const noexcept { return full_rows_ == n_; }
 
   [[nodiscard]] std::span<const std::uint64_t> row(int v) const noexcept {
     return {bits_.data() + static_cast<std::size_t>(v) * words_, words_};
@@ -48,9 +58,14 @@ class KnowledgeMatrix {
     return bits_.data() + static_cast<std::size_t>(v) * words_;
   }
 
+  /// Record `added` new items on row v (atomic full-row bookkeeping).
+  void bump(int v, int added) noexcept;
+
   int n_ = 0;
   std::size_t words_ = 0;
   std::vector<std::uint64_t> bits_;
+  std::vector<int> counts_;  // items known per row
+  int full_rows_ = 0;        // rows with counts_[v] == n_
 };
 
 }  // namespace sysgo::simulator

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace sysgo::util {
 
@@ -16,23 +17,21 @@ void parallel_for_blocks(std::size_t begin, std::size_t end,
                          std::size_t min_grain) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  const unsigned hw = hardware_threads();
-  if (hw <= 1 || total < min_grain) {
+  ThreadPool& pool = ThreadPool::instance();
+  // The calling thread participates in the region alongside the workers.
+  const std::size_t lanes = static_cast<std::size_t>(pool.worker_count()) + 1;
+  if (lanes <= 1 || total < min_grain) {
     body(begin, end);
     return;
   }
-  const std::size_t workers =
-      std::min<std::size_t>(hw, (total + min_grain - 1) / min_grain);
-  const std::size_t chunk = (total + workers - 1) / workers;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t lo = begin + w * chunk;
+  const std::size_t blocks =
+      std::min<std::size_t>(lanes, (total + min_grain - 1) / min_grain);
+  const std::size_t chunk = (total + blocks - 1) / blocks;
+  pool.run_indexed(blocks, [&](std::size_t b) {
+    const std::size_t lo = begin + b * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool.emplace_back([&body, lo, hi] { body(lo, hi); });
-  }
-  for (auto& t : pool) t.join();
+    if (lo < hi) body(lo, hi);
+  });
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

@@ -1,9 +1,10 @@
 // Minimal shared-memory parallel loop utilities.
 //
 // The simulator and the power-iteration kernels are embarrassingly parallel
-// over rows/arcs; a fork-join parallel_for over std::thread is all we need
-// (no external runtime).  Work is split into contiguous blocks, one per
-// worker, so iteration order inside a block is cache friendly.
+// over rows/arcs.  Loops execute on the persistent work-stealing pool of
+// util/thread_pool.hpp (the calling thread participates), so no threads are
+// spawned per call.  Work is split into contiguous blocks, one per lane, so
+// iteration order inside a block is cache friendly.
 #pragma once
 
 #include <cstddef>

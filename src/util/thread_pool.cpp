@@ -1,0 +1,165 @@
+#include "util/thread_pool.hpp"
+
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "util/parallel.hpp"
+
+namespace sysgo::util {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == kDefaultWorkers) {
+    const unsigned hw = hardware_threads();
+    workers = hw > 1 ? hw - 1 : 0;  // the caller is the remaining lane
+  }
+  queues_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  threads_.reserve(workers);
+  try {
+    for (unsigned w = 0; w < workers; ++w)
+      threads_.emplace_back([this, w] { worker_loop(w); });
+  } catch (...) {
+    // Thread creation failed partway (resource exhaustion): shut down the
+    // workers already running before the members unwind, else their
+    // joinable std::threads would terminate the process.
+    stop_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+      sleep_cv_.notify_all();
+    }
+    for (auto& t : threads_) t.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (queues_.empty()) {  // no workers: run inline
+    task();
+    return;
+  }
+  const std::size_t q =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::try_run_one(std::size_t home) {
+  std::function<void()> task;
+  const std::size_t n = queues_.size();
+  // Own queue back (LIFO), then steal from the others front (FIFO).
+  for (std::size_t k = 0; k < n && !task; ++k) {
+    const std::size_t q = (home + k) % n;
+    std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+    if (queues_[q]->tasks.empty()) continue;
+    if (k == 0) {
+      task = std::move(queues_[q]->tasks.back());
+      queues_[q]->tasks.pop_back();
+    } else {
+      task = std::move(queues_[q]->tasks.front());
+      queues_[q]->tasks.pop_front();
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    if (try_run_one(self)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) > 0 ||
+             stop_.load(std::memory_order_acquire);
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+namespace {
+
+/// Shared state of one cooperative parallel region.
+struct Region {
+  explicit Region(std::size_t c, std::function<void(std::size_t)> b)
+      : count(c), body(std::move(b)) {}
+  const std::size_t count;
+  const std::function<void(std::size_t)> body;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (queues_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  auto region = std::make_shared<Region>(count, body);
+  const std::size_t helpers =
+      std::min<std::size_t>(worker_count(), count - 1);
+  for (std::size_t h = 0; h < helpers; ++h)
+    submit([region] { region->drain(); });
+  region->drain();  // the caller claims indices too: progress is guaranteed
+  // Indices claimed by workers may still be running; help with other queued
+  // work (e.g. nested-region helpers), then back off to a short sleep so a
+  // long-tail job doesn't pin this core.
+  unsigned idle = 0;
+  while (region->done.load(std::memory_order_acquire) < count) {
+    if (try_run_one(0)) {
+      idle = 0;
+    } else if (++idle < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+}  // namespace sysgo::util

@@ -1,0 +1,77 @@
+// Persistent work-stealing thread pool.
+//
+// Workers own a deque each: submissions are distributed round-robin, a
+// worker pops its own deque LIFO (cache-warm) and steals FIFO from the
+// others when idle.  Parallel regions (run_indexed) are cooperative — the
+// calling thread claims blocks alongside the workers, so regions nest
+// safely (a worker that opens a region drains it itself in the worst case)
+// and never deadlock even with a single hardware thread.
+//
+// parallel_for / parallel_for_blocks (util/parallel.hpp) run on the
+// process-wide instance(), replacing the old fork-join model that spawned
+// and joined fresh std::threads on every call.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sysgo::util {
+
+class ThreadPool {
+ public:
+  /// Default worker count: hardware_threads() - 1 (the calling thread
+  /// participates in parallel regions, so n workers + caller saturate
+  /// n + 1 cores).
+  static constexpr unsigned kDefaultWorkers = ~0u;
+
+  /// Start `workers` threads; 0 is a valid serial pool (submit runs
+  /// inline, run_indexed loops on the caller).
+  explicit ThreadPool(unsigned workers = kDefaultWorkers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker thread count (may be 0 on single-core machines; parallel
+  /// regions then run entirely on the caller).
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Process-wide pool, created on first use and kept for the process
+  /// lifetime.
+  static ThreadPool& instance();
+
+  /// Enqueue a task for asynchronous execution (caller synchronizes).
+  void submit(std::function<void()> task);
+
+  /// Run body(i) for every i in [0, count), distributing dynamically over
+  /// the workers and the calling thread; returns when all are done.
+  /// Exceptions from body propagate to the caller (first one wins).
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_run_one(std::size_t home);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace sysgo::util

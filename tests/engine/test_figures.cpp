@@ -1,0 +1,41 @@
+#include "engine/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/sweep.hpp"
+#include "io/csv.hpp"
+
+namespace sysgo::engine {
+namespace {
+
+// The engine-reproduced paper tables must be byte-identical to the direct
+// io:: generators — `sysgo sweep fig5|fig6` mirrors `sysgo table fig5|fig6`.
+TEST(Figures, Fig5CsvByteIdenticalToDirectGenerator) {
+  SweepRunner runner;
+  EXPECT_EQ(fig5_csv(runner), io::fig5_csv());
+}
+
+TEST(Figures, Fig6CsvByteIdenticalToDirectGenerator) {
+  SweepRunner runner;
+  EXPECT_EQ(fig6_csv(runner), io::fig6_csv());
+}
+
+TEST(Figures, Fig5SpecExpandsToFourteenRows) {
+  const auto jobs = fig5_spec().expand();
+  EXPECT_EQ(jobs.size(), 14u * 6);  // 7 families × d∈{2,3} × s=3..8
+  for (const auto& job : jobs) EXPECT_EQ(job.task, Task::kBound);
+}
+
+TEST(Figures, Fig6SpecPairsMatrixAndDiameter) {
+  const auto jobs = fig6_spec().expand();
+  ASSERT_EQ(jobs.size(), 14u * 2);
+  for (std::size_t i = 0; i < jobs.size(); i += 2) {
+    EXPECT_EQ(jobs[i].task, Task::kBound);
+    EXPECT_EQ(jobs[i].s, core::kUnboundedPeriod);
+    EXPECT_EQ(jobs[i + 1].task, Task::kDiameterBound);
+    EXPECT_EQ(jobs[i].key, jobs[i + 1].key);
+  }
+}
+
+}  // namespace
+}  // namespace sysgo::engine

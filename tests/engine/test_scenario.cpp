@@ -1,0 +1,130 @@
+#include "engine/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sysgo::engine {
+namespace {
+
+using topology::Family;
+using protocol::Mode;
+
+TEST(Scenario, TokensRoundTrip) {
+  for (Family f : all_families())
+    EXPECT_EQ(parse_family_token(family_token(f)), f);
+  for (Task t : {Task::kBound, Task::kDiameterBound, Task::kSimulate,
+                 Task::kAudit, Task::kSeparatorCheck})
+    EXPECT_EQ(parse_task_name(task_name(t)), t);
+  for (Mode m : {Mode::kHalfDuplex, Mode::kFullDuplex})
+    EXPECT_EQ(parse_mode_name(mode_name(m)), m);
+  EXPECT_THROW((void)parse_family_token("nope"), std::invalid_argument);
+  EXPECT_THROW((void)parse_task_name("nope"), std::invalid_argument);
+  EXPECT_THROW((void)parse_mode_name("nope"), std::invalid_argument);
+}
+
+TEST(Scenario, GridExpansionCount) {
+  ScenarioSpec spec;
+  spec.families = {Family::kDeBruijn, Family::kKautz};
+  spec.degrees = {2, 3};
+  spec.dimensions = {3, 4, 5};
+  spec.modes = {Mode::kHalfDuplex};
+  spec.periods = {3, 4};
+  spec.tasks = {Task::kBound, Task::kSimulate, Task::kAudit};
+  const auto jobs = spec.expand();
+  // kBound: 2 families × 2 degrees × 1 mode × 2 periods (D-independent),
+  // kSimulate/kAudit: 2 × 2 × 3 dimensions × 1 mode each.
+  EXPECT_EQ(jobs.size(), 2u * 2 * 2 + 2u * 2 * 3 * 2);
+}
+
+TEST(Scenario, ExpansionOrderIsFamilyMajorTasksInSpecOrder) {
+  ScenarioSpec spec;
+  spec.families = {Family::kDeBruijn, Family::kKautz};
+  spec.degrees = {2};
+  spec.dimensions = {4};
+  spec.periods = {3, 4};
+  spec.tasks = {Task::kBound, Task::kSimulate};
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 6u);
+  // DB: bound s=3, bound s=4, simulate; then Kautz likewise.
+  EXPECT_EQ(jobs[0].key.family, Family::kDeBruijn);
+  EXPECT_EQ(jobs[0].task, Task::kBound);
+  EXPECT_EQ(jobs[0].s, 3);
+  EXPECT_EQ(jobs[0].key.D, 0);  // asymptotic jobs are D-normalized
+  EXPECT_EQ(jobs[1].task, Task::kBound);
+  EXPECT_EQ(jobs[1].s, 4);
+  EXPECT_EQ(jobs[2].task, Task::kSimulate);
+  EXPECT_EQ(jobs[2].key.D, 4);
+  EXPECT_EQ(jobs[3].key.family, Family::kKautz);
+  EXPECT_EQ(jobs[3].task, Task::kBound);
+  EXPECT_EQ(jobs[5].task, Task::kSimulate);
+}
+
+TEST(Scenario, AsymptoticTasksDedupAcrossDimensions) {
+  ScenarioSpec spec;
+  spec.families = {Family::kDeBruijn};
+  spec.degrees = {2};
+  spec.dimensions = {3, 4, 5, 6};
+  spec.periods = {4};
+  spec.tasks = {Task::kBound, Task::kDiameterBound};
+  const auto jobs = spec.expand();
+  EXPECT_EQ(jobs.size(), 2u);  // once, not once per dimension
+}
+
+TEST(Scenario, EmptyDimensionsSkipsConcreteTasks) {
+  ScenarioSpec spec;
+  spec.families = {Family::kDeBruijn};
+  spec.degrees = {2};
+  spec.periods = {4};
+  spec.tasks = {Task::kBound, Task::kSimulate, Task::kAudit};
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].task, Task::kBound);
+}
+
+TEST(Scenario, ExplicitKeysReplaceGrid) {
+  ScenarioSpec spec;
+  spec.families = all_families();  // ignored
+  spec.degrees = {2, 3};           // ignored
+  spec.explicit_keys = {{Family::kKautz, 2, 5, Mode::kHalfDuplex},
+                        {Family::kDeBruijn, 2, 6, Mode::kHalfDuplex}};
+  spec.tasks = {Task::kSimulate};
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].key.family, Family::kKautz);
+  EXPECT_EQ(jobs[0].key.D, 5);
+  EXPECT_EQ(jobs[1].key.family, Family::kDeBruijn);
+}
+
+TEST(Scenario, ExplicitKeysKeepUniformPerKeyStride) {
+  // Two members of the same family: asymptotic tasks are NOT deduped for
+  // explicit keys, so every key yields the same task-shaped record group.
+  ScenarioSpec spec;
+  spec.explicit_keys = {{Family::kDeBruijn, 2, 4, Mode::kHalfDuplex},
+                        {Family::kDeBruijn, 2, 6, Mode::kHalfDuplex}};
+  spec.tasks = {Task::kSeparatorCheck, Task::kBound};
+  spec.periods = {4};
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 4u);  // (separator, bound) per key
+  EXPECT_EQ(jobs[0].task, Task::kSeparatorCheck);
+  EXPECT_EQ(jobs[1].task, Task::kBound);
+  EXPECT_EQ(jobs[2].task, Task::kSeparatorCheck);
+  EXPECT_EQ(jobs[2].key.D, 6);
+  EXPECT_EQ(jobs[3].task, Task::kBound);
+}
+
+TEST(Scenario, DuplexOfModeMatchesCore) {
+  EXPECT_EQ(duplex_of(Mode::kHalfDuplex), core::Duplex::kHalf);
+  EXPECT_EQ(duplex_of(Mode::kFullDuplex), core::Duplex::kFull);
+}
+
+TEST(Scenario, SameResultIgnoresTiming) {
+  SweepRecord a;
+  a.e = 1.5;
+  SweepRecord b = a;
+  b.millis = 99.0;
+  EXPECT_TRUE(same_result(a, b));
+  b.e = 1.6;
+  EXPECT_FALSE(same_result(a, b));
+}
+
+}  // namespace
+}  // namespace sysgo::engine

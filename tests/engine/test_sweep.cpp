@@ -1,0 +1,151 @@
+#include "engine/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "core/separator_bound.hpp"
+#include "protocol/builders.hpp"
+#include "protocol/classic_protocols.hpp"
+#include "simulator/gossip_sim.hpp"
+#include "topology/de_bruijn.hpp"
+
+namespace sysgo::engine {
+namespace {
+
+using topology::Family;
+using protocol::Mode;
+
+ScenarioSpec small_grid() {
+  ScenarioSpec spec;
+  spec.families = {Family::kDeBruijn, Family::kKautz};
+  spec.degrees = {2};
+  spec.dimensions = {4, 5};
+  spec.periods = {4};
+  spec.tasks = {Task::kBound, Task::kSimulate, Task::kAudit};
+  return spec;
+}
+
+TEST(Sweep, RecordsMatchDirectComputation) {
+  SweepRunner runner;
+  const auto records = runner.run(small_grid());
+  ASSERT_EQ(records.size(), 2u + 2u * 2 * 2);
+
+  // The kBound record reproduces separator_bound directly.
+  const auto direct =
+      core::separator_bound(Family::kDeBruijn, 2, 4, core::Duplex::kHalf);
+  EXPECT_EQ(records[0].task, Task::kBound);
+  EXPECT_DOUBLE_EQ(records[0].e, direct.e);
+  EXPECT_DOUBLE_EQ(records[0].lambda, direct.lambda);
+
+  // The simulate record reproduces gossip_time on the same schedule.
+  const auto sched = protocol::edge_coloring_schedule(
+      topology::de_bruijn(2, 4), Mode::kHalfDuplex);
+  const auto* simulate = &records[1];
+  ASSERT_EQ(simulate->task, Task::kSimulate);
+  EXPECT_EQ(simulate->n, sched.n);
+  EXPECT_EQ(simulate->s, sched.period_length());
+  EXPECT_EQ(simulate->rounds, simulator::gossip_time(sched, 1 << 20));
+
+  // The audit record reproduces audit_schedule, and every job was timed.
+  const auto audit = core::audit_schedule(sched);
+  EXPECT_EQ(records[2].task, Task::kAudit);
+  EXPECT_DOUBLE_EQ(records[2].lambda, audit.lambda_star);
+  EXPECT_EQ(records[2].rounds, audit.round_lower_bound);
+  for (const auto& r : records) EXPECT_GE(r.millis, 0.0);
+}
+
+TEST(Sweep, CacheHitsOnRepeatedScenarioKeys) {
+  SweepRunner runner;
+  const auto records = runner.run(small_grid());
+  ASSERT_FALSE(records.empty());
+  const auto stats = runner.cache_stats();
+  // 4 concrete keys, each needed by simulate and audit: 4 misses, 4 hits.
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.hits, 4u);
+}
+
+TEST(Sweep, CacheDisabledStillProducesSameRecords) {
+  SweepRunner cached{SweepOptions{}};
+  SweepOptions no_cache;
+  no_cache.use_cache = false;
+  SweepRunner uncached{no_cache};
+  const auto a = cached.run(small_grid());
+  const auto b = uncached.run(small_grid());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(same_result(a[i], b[i])) << "record " << i;
+  EXPECT_EQ(uncached.cache_stats().misses, 0u);
+  EXPECT_EQ(uncached.cache_stats().hits, 0u);
+}
+
+// Acceptance sweep: all seven registry families at d=2, D <= 9 — a threaded
+// run must produce records identical to a single-threaded run.
+TEST(Sweep, ThreadedMatchesSerialAcrossAllFamilies) {
+  ScenarioSpec spec;
+  spec.families = all_families();
+  spec.degrees = {2};
+  spec.dimensions = {3, 4, 5, 6, 7, 8, 9};
+  spec.periods = {4, core::kUnboundedPeriod};
+  spec.tasks = {Task::kBound, Task::kSimulate, Task::kAudit};
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepRunner serial_runner{serial};
+  const auto expected = serial_runner.run(spec);
+
+  for (unsigned threads : {0u, 4u}) {
+    SweepOptions opts;
+    opts.threads = threads;
+    SweepRunner runner{opts};
+    const auto got = runner.run(spec);
+    ASSERT_EQ(got.size(), expected.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_TRUE(same_result(got[i], expected[i]))
+          << "threads=" << threads << " record " << i;
+  }
+}
+
+TEST(Sweep, OnRecordSeesEveryIndexOnce) {
+  std::set<std::size_t> seen;
+  std::mutex m;
+  SweepOptions opts;
+  opts.threads = 4;
+  opts.on_record = [&](std::size_t i, const SweepRecord&) {
+    std::lock_guard<std::mutex> lock(m);
+    EXPECT_TRUE(seen.insert(i).second);
+  };
+  SweepRunner runner{opts};
+  const auto records = runner.run(small_grid());
+  EXPECT_EQ(seen.size(), records.size());
+}
+
+TEST(Sweep, RunCasesMatchesDirectSimulationAndAudit) {
+  std::vector<ScheduleCase> cases;
+  cases.push_back({"hypercube(4) fd",
+                   protocol::hypercube_schedule(4, Mode::kFullDuplex), 200});
+  cases.push_back({"DB(2,4) coloring hd",
+                   protocol::edge_coloring_schedule(topology::de_bruijn(2, 4),
+                                                    Mode::kHalfDuplex),
+                   4000});
+  const auto records = run_cases(cases);
+  ASSERT_EQ(records.size(), 2u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    EXPECT_EQ(r.name, cases[i].name);
+    EXPECT_EQ(r.n, cases[i].schedule.n);
+    EXPECT_EQ(r.s, cases[i].schedule.period_length());
+    EXPECT_EQ(r.measured,
+              simulator::gossip_time(cases[i].schedule, cases[i].max_rounds));
+    const auto audit = core::audit_schedule(cases[i].schedule);
+    EXPECT_EQ(r.audit.round_lower_bound, audit.round_lower_bound);
+    EXPECT_DOUBLE_EQ(r.audit.lambda_star, audit.lambda_star);
+    // Paper shape: the certified bound never exceeds the measured time.
+    EXPECT_GT(r.measured, 0);
+    EXPECT_LE(r.audit.round_lower_bound, r.measured);
+  }
+}
+
+}  // namespace
+}  // namespace sysgo::engine

@@ -1,0 +1,93 @@
+#include "io/sweep_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/sweep.hpp"
+
+namespace sysgo::io {
+namespace {
+
+using engine::ScenarioSpec;
+using engine::SweepRecord;
+using engine::Task;
+using protocol::Mode;
+using topology::Family;
+
+std::vector<SweepRecord> sample_records() {
+  SweepRecord bound;
+  bound.key = {Family::kDeBruijn, 2, 0, Mode::kHalfDuplex};
+  bound.task = Task::kBound;
+  bound.s = core::kUnboundedPeriod;
+  bound.alpha = 1.0;
+  bound.ell = 1.0;
+  bound.e = 1.5876307466808308;
+  bound.lambda = 0.47654191228624376;
+  bound.millis = 0.25;
+
+  SweepRecord sim;
+  sim.key = {Family::kKautz, 2, 5, Mode::kFullDuplex};
+  sim.task = Task::kSimulate;
+  sim.s = 6;
+  sim.n = 48;
+  sim.rounds = 16;
+  sim.millis = 1.5;
+
+  SweepRecord sep;
+  sep.key = {Family::kButterfly, 2, 3, Mode::kHalfDuplex};
+  sep.task = Task::kSeparatorCheck;
+  sep.n = 32;
+  sep.diameter = 6;
+  sep.sep_distance = 6;
+  sep.sep_min_size = 4;
+  return {bound, sim, sep};
+}
+
+void expect_same(const std::vector<SweepRecord>& a,
+                 const std::vector<SweepRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(engine::same_result(a[i], b[i])) << "record " << i;
+    EXPECT_DOUBLE_EQ(a[i].millis, b[i].millis) << "record " << i;
+  }
+}
+
+TEST(SweepIo, CsvRoundTrips) {
+  const auto records = sample_records();
+  expect_same(parse_sweep_csv(sweep_csv(records)), records);
+}
+
+TEST(SweepIo, JsonRoundTrips) {
+  const auto records = sample_records();
+  expect_same(parse_sweep_json(sweep_json(records)), records);
+}
+
+TEST(SweepIo, EmptyDocumentsRoundTrip) {
+  EXPECT_TRUE(parse_sweep_csv(sweep_csv({})).empty());
+  EXPECT_TRUE(parse_sweep_json(sweep_json({})).empty());
+}
+
+TEST(SweepIo, RealSweepOutputRoundTripsBothFormats) {
+  ScenarioSpec spec;
+  spec.families = {Family::kDeBruijn, Family::kKautz};
+  spec.degrees = {2};
+  spec.dimensions = {4};
+  spec.periods = {3, 4, core::kUnboundedPeriod};
+  spec.tasks = {Task::kBound, Task::kDiameterBound, Task::kSimulate,
+                Task::kAudit, Task::kSeparatorCheck};
+  engine::SweepRunner runner;
+  const auto records = runner.run(spec);
+  ASSERT_FALSE(records.empty());
+  expect_same(parse_sweep_csv(sweep_csv(records)), records);
+  expect_same(parse_sweep_json(sweep_json(records)), records);
+}
+
+TEST(SweepIo, MalformedInputThrows) {
+  EXPECT_THROW(parse_sweep_csv(""), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_csv("wrong,header\n"), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_json("{\"not\":\"an array\"}"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_sweep_json("[{\"family\":\"bf\""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysgo::io

@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace sysgo::util {
+namespace {
+
+TEST(ThreadPool, InstanceIsPersistent) {
+  ThreadPool& a = ThreadPool::instance();
+  ThreadPool& b = ThreadPool::instance();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, RunIndexedCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.run_indexed(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunIndexedZeroWorkersRunsSerially) {
+  ThreadPool pool(0u);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::vector<int> hits(500, 0);
+  pool.run_indexed(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, RunIndexedEmptyDoesNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.run_indexed(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, NestedRegionsComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.run_indexed(8, [&](std::size_t) {
+    pool.run_indexed(16, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run_indexed(100,
+                       [&](std::size_t i) {
+                         if (i == 17) throw std::runtime_error("boom");
+                         ++completed;
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 99);  // the region still ran to completion
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(1);
+  std::mutex m;
+  std::condition_variable cv;
+  bool ran = false;
+  pool.submit([&] {
+    std::lock_guard<std::mutex> lock(m);
+    ran = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(m);
+  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(10), [&] { return ran; }));
+}
+
+TEST(ThreadPool, SubmitWithNoWorkersRunsInline) {
+  ThreadPool pool(0u);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace sysgo::util

@@ -2,6 +2,8 @@
 //
 //   sysgo bound <s|inf> [half|full]       general coefficient e(s)
 //   sysgo table <fig4|fig5|fig6|fig8>     reproduce a paper table (CSV)
+//   sysgo sweep fig5|fig6                 engine-reproduced paper tables
+//   sysgo sweep [grid flags]              parallel scenario sweep (CSV/JSON)
 //   sysgo audit <schedule-file>           certify a lower bound
 //   sysgo simulate <schedule-file> [max]  measured gossip time
 //   sysgo topology <name> <d> <D>         emit a network as sysgo-digraph
@@ -11,14 +13,21 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/audit.hpp"
 #include "core/bounds.hpp"
+#include "engine/figures.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep.hpp"
 #include "io/csv.hpp"
 #include "io/graph_text.hpp"
 #include "io/protocol_text.hpp"
+#include "io/sweep_io.hpp"
 #include "simulator/gossip_sim.hpp"
 #include "topology/topology.hpp"
 
@@ -29,6 +38,14 @@ int usage() {
                "usage:\n"
                "  sysgo bound <s|inf> [half|full]\n"
                "  sysgo table <fig4|fig5|fig6|fig8>\n"
+               "  sysgo sweep fig5|fig6\n"
+               "  sysgo sweep [--families f1,f2,..] [--d 2,3] [--D lo:hi]\n"
+               "              [--modes half,full] [--tasks bound,diameter,"
+               "simulate,audit,separator]\n"
+               "              [--periods 3:8,inf] [--threads N] [--format "
+               "csv|json] [--max-rounds M] [--no-cache]\n"
+               "      families: bf wbf-dir wbf db-dir db kautz-dir kautz "
+               "(default: all, d=2, bound at s=3..8)\n"
                "  sysgo audit <schedule-file>\n"
                "  sysgo simulate <schedule-file> [max-rounds]\n"
                "  sysgo topology <bf|wbf|wbf-dir|db|db-dir|kautz|kautz-dir> <d> <D>\n");
@@ -67,6 +84,176 @@ int cmd_table(int argc, char** argv) {
   else if (which == "fig8") csv = sysgo::io::fig8_csv();
   else return usage();
   std::fputs(csv.c_str(), stdout);
+  return 0;
+}
+
+// --------------------------------------------------------------- sweep
+
+/// Split "a,b,c" into tokens; each token may be a "lo:hi" inclusive range.
+std::vector<std::string> split_list(const std::string& arg) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(arg.substr(start));
+      break;
+    }
+    out.push_back(arg.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<int> parse_int_list(const std::string& arg, bool allow_inf) {
+  std::vector<int> out;
+  for (const std::string& tok : split_list(arg)) {
+    if (allow_inf && tok == "inf") {
+      out.push_back(sysgo::core::kUnboundedPeriod);
+      continue;
+    }
+    const std::size_t colon = tok.find(':');
+    if (colon != std::string::npos) {
+      const int lo = std::stoi(tok.substr(0, colon));
+      const int hi = std::stoi(tok.substr(colon + 1));
+      for (int v = lo; v <= hi; ++v) out.push_back(v);
+    } else {
+      out.push_back(std::stoi(tok));
+    }
+  }
+  return out;
+}
+
+/// Flushes per-job output lines in deterministic (index) order as jobs
+/// finish, so a threaded sweep streams exactly what a serial one would.
+class OrderedEmitter {
+ public:
+  void emit(std::size_t index, std::string line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_[index] = std::move(line);
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      std::fputs(pending_.begin()->second.c_str(), stdout);
+      std::fflush(stdout);
+      pending_.erase(pending_.begin());
+      ++next_;
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::size_t, std::string> pending_;
+  std::size_t next_ = 0;
+};
+
+int cmd_sweep(int argc, char** argv) {
+  namespace engine = sysgo::engine;
+  if (argc >= 1 && (std::strcmp(argv[0], "fig5") == 0 ||
+                    std::strcmp(argv[0], "fig6") == 0)) {
+    engine::SweepRunner runner;
+    const std::string csv = std::strcmp(argv[0], "fig5") == 0
+                                ? engine::fig5_csv(runner)
+                                : engine::fig6_csv(runner);
+    std::fputs(csv.c_str(), stdout);
+    return 0;
+  }
+
+  engine::ScenarioSpec spec;
+  spec.families = engine::all_families();
+  spec.degrees = {2};
+  spec.periods = {3, 4, 5, 6, 7, 8};
+  spec.tasks = {engine::Task::kBound};
+  engine::SweepOptions opts;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("missing value for " + flag);
+      return argv[++i];
+    };
+    try {
+    if (flag == "--families") {
+      spec.families.clear();
+      for (const auto& tok : split_list(value()))
+        spec.families.push_back(engine::parse_family_token(tok));
+    } else if (flag == "--d") {
+      spec.degrees = parse_int_list(value(), false);
+      for (int d : spec.degrees)
+        if (d < 2 || d > 64)
+          throw std::invalid_argument("--d values must be in [2, 64]");
+    } else if (flag == "--D") {
+      spec.dimensions = parse_int_list(value(), false);
+      for (int D : spec.dimensions)
+        if (D < 1 || D > 30)
+          throw std::invalid_argument("--D values must be in [1, 30]");
+    } else if (flag == "--modes") {
+      spec.modes.clear();
+      for (const auto& tok : split_list(value()))
+        spec.modes.push_back(engine::parse_mode_name(tok));
+    } else if (flag == "--tasks") {
+      spec.tasks.clear();
+      for (const auto& tok : split_list(value()))
+        spec.tasks.push_back(engine::parse_task_name(tok));
+    } else if (flag == "--periods") {
+      spec.periods = parse_int_list(value(), true);
+      for (int s : spec.periods)
+        if (s != sysgo::core::kUnboundedPeriod && s < 3)
+          throw std::invalid_argument("--periods values must be >= 3 or inf");
+    } else if (flag == "--threads") {
+      const int threads = std::stoi(value());
+      if (threads < 1 || threads > 256)
+        throw std::invalid_argument("--threads must be in [1, 256]");
+      opts.threads = static_cast<unsigned>(threads);
+    } else if (flag == "--max-rounds") {
+      spec.simulate_max_rounds = std::stoi(value());
+      if (spec.simulate_max_rounds < 1)
+        throw std::invalid_argument("--max-rounds must be >= 1");
+    } else if (flag == "--format") {
+      const std::string fmt = value();
+      if (fmt == "json") json = true;
+      else if (fmt != "csv") throw std::invalid_argument("unknown format: " + fmt);
+    } else if (flag == "--no-cache") {
+      opts.use_cache = false;
+    } else {
+      std::fprintf(stderr, "unknown sweep flag: %s\n", flag.c_str());
+      return usage();
+    }
+    } catch (const std::invalid_argument& e) {
+      // std::stoi reports bare "stoi"; keep the offending flag visible.
+      const std::string what = e.what();
+      if (what.find(flag) == std::string::npos)
+        throw std::invalid_argument("bad value for " + flag + ": " + what);
+      throw;
+    }
+  }
+
+  if (spec.dimensions.empty()) {
+    for (engine::Task t : spec.tasks)
+      if (engine::task_needs_dimension(t))
+        throw std::invalid_argument("task '" + engine::task_name(t) +
+                                    "' needs concrete dimensions: pass --D");
+  }
+
+  const auto jobs = spec.expand();
+  OrderedEmitter emitter;
+  if (json) {
+    std::fputs("[\n", stdout);
+    opts.on_record = [&](std::size_t i, const engine::SweepRecord& r) {
+      emitter.emit(i, "  " + sysgo::io::sweep_json_record(r) +
+                          (i + 1 < jobs.size() ? ",\n" : "\n"));
+    };
+  } else {
+    std::fputs(sysgo::io::sweep_csv_header().c_str(), stdout);
+    opts.on_record = [&](std::size_t i, const engine::SweepRecord& r) {
+      emitter.emit(i, sysgo::io::sweep_csv_row(r));
+    };
+  }
+  engine::SweepRunner runner(opts);
+  const auto records = runner.run_jobs(jobs, spec.simulate_max_rounds);
+  if (json) std::fputs("]\n", stdout);
+  const auto stats = runner.cache_stats();
+  std::fprintf(stderr, "sweep: %zu records, cache %zu hits / %zu misses\n",
+               records.size(), stats.hits, stats.misses);
   return 0;
 }
 
@@ -127,6 +314,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "bound") return cmd_bound(argc - 2, argv + 2);
     if (cmd == "table") return cmd_table(argc - 2, argv + 2);
+    if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "topology") return cmd_topology(argc - 2, argv + 2);
