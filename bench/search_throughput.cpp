@@ -1,0 +1,129 @@
+// Exact-search throughput: canonical states per second, plus the state-space
+// compression the symmetry layer buys over the identity-only search that the
+// old analysis/optimal BFS amounted to.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "search/solver.hpp"
+#include "topology/classic.hpp"
+#include "topology/knodel.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using sysgo::search::Algorithm;
+using sysgo::search::Problem;
+using sysgo::search::SolveOptions;
+using sysgo::protocol::Mode;
+
+void print_symmetry_reduction_table() {
+  std::printf("=== Symmetry reduction vs. identity-only BFS ===\n\n");
+  struct Case {
+    std::string name;
+    sysgo::graph::Digraph g;
+    Mode mode;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"C6 half", sysgo::topology::cycle(6), Mode::kHalfDuplex});
+  cases.push_back({"C7 half", sysgo::topology::cycle(7), Mode::kHalfDuplex});
+  cases.push_back({"C9 full", sysgo::topology::cycle(9), Mode::kFullDuplex});
+  cases.push_back({"C12 full", sysgo::topology::cycle(12), Mode::kFullDuplex});
+  cases.push_back({"K5 half", sysgo::topology::complete(5), Mode::kHalfDuplex});
+  cases.push_back({"Q3 full", sysgo::topology::hypercube(3), Mode::kFullDuplex});
+  cases.push_back({"W(3,8) full", sysgo::topology::knodel(3, 8), Mode::kFullDuplex});
+
+  sysgo::util::Table table(
+      {"instance", "rounds", "|Aut|", "canonical", "raw", "reduction"});
+  for (auto& c : cases) {
+    SolveOptions with;
+    with.mode = c.mode;
+    with.threads = 1;
+    const auto reduced = sysgo::search::solve(c.g, with);
+    SolveOptions without = with;
+    without.use_symmetry = false;
+    const auto raw = sysgo::search::solve(c.g, without);
+    const double factor =
+        reduced.states_explored == 0
+            ? 0.0
+            : static_cast<double>(raw.states_explored) /
+                  static_cast<double>(reduced.states_explored);
+    table.add_row({c.name, std::to_string(reduced.rounds),
+                   std::to_string(reduced.group_order),
+                   std::to_string(reduced.states_explored),
+                   std::to_string(raw.states_explored),
+                   sysgo::util::format_fixed(factor, 1) + "x"});
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+void BM_SolveStatesPerSecond(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool symmetry = state.range(1) != 0;
+  const auto g = sysgo::topology::cycle(n);
+  SolveOptions opts;
+  opts.mode = Mode::kHalfDuplex;
+  opts.threads = 1;
+  opts.use_symmetry = symmetry;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const auto res = sysgo::search::solve(g, opts);
+    states += res.states_explored;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SolveStatesPerSecond)
+    ->Name("search/cycle_half_duplex_bfs")
+    ->ArgsProduct({{5, 6, 7}, {0, 1}})
+    ->ArgNames({"n", "sym"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolveParallelBfs(benchmark::State& state) {
+  const auto g = sysgo::topology::cycle(7);
+  SolveOptions opts;
+  opts.mode = Mode::kHalfDuplex;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const auto res = sysgo::search::solve(g, opts);
+    states += res.states_explored;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SolveParallelBfs)
+    ->Name("search/cycle7_half_duplex_threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IterativeDeepening(benchmark::State& state) {
+  const auto g = sysgo::topology::cycle(static_cast<int>(state.range(0)));
+  SolveOptions opts;
+  opts.mode = Mode::kFullDuplex;
+  opts.algorithm = Algorithm::kIterativeDeepening;
+  opts.threads = 1;
+  for (auto _ : state) {
+    const auto res = sysgo::search::solve(g, opts);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_IterativeDeepening)
+    ->Name("search/cycle_full_duplex_idbb")
+    ->DenseRange(8, 12, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_symmetry_reduction_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,54 +2,14 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "search/solver.hpp"
 
 namespace sysgo::analysis {
 namespace {
 
 using protocol::Mode;
 using protocol::Round;
-
-// Knowledge state: row v occupies bits [v*n, v*n + n).
-std::uint64_t initial_state(int n) {
-  std::uint64_t s = 0;
-  for (int v = 0; v < n; ++v) s |= std::uint64_t{1} << (v * n + v);
-  return s;
-}
-
-std::uint64_t goal_state(int n) {
-  std::uint64_t s = 0;
-  for (int v = 0; v < n; ++v)
-    s |= ((std::uint64_t{1} << n) - 1) << (v * n);
-  return s;
-}
-
-std::uint64_t row(std::uint64_t state, int v, int n) {
-  return (state >> (v * n)) & ((std::uint64_t{1} << n) - 1);
-}
-
-std::uint64_t with_row(std::uint64_t state, int v, int n, std::uint64_t bits) {
-  const std::uint64_t mask = ((std::uint64_t{1} << n) - 1) << (v * n);
-  return (state & ~mask) | (bits << (v * n));
-}
-
-std::uint64_t apply(std::uint64_t state, const Round& round, Mode mode, int n) {
-  std::uint64_t next = state;
-  if (mode == Mode::kFullDuplex) {
-    for (const auto& a : round.arcs) {
-      if (a.tail >= a.head) continue;
-      const std::uint64_t u = row(state, a.tail, n) | row(state, a.head, n);
-      next = with_row(next, a.tail, n, u);
-      next = with_row(next, a.head, n, u);
-    }
-  } else {
-    for (const auto& a : round.arcs) {
-      const std::uint64_t u = row(state, a.head, n) | row(state, a.tail, n);
-      next = with_row(next, a.head, n, u);
-    }
-  }
-  return next;
-}
 
 // Enumerate maximal matchings by branching on the lowest-index free vertex.
 void enumerate_half_duplex(const graph::Digraph& g, int v, std::uint32_t used,
@@ -62,11 +22,9 @@ void enumerate_half_duplex(const graph::Digraph& g, int v, std::uint32_t used,
     out.back().canonicalize();
     return;
   }
-  bool extended = false;
   // v as tail.
   for (int w : g.out_neighbors(v)) {
     if (w == v || ((used >> w) & 1)) continue;
-    extended = true;
     current.push_back({v, w});
     enumerate_half_duplex(g, v + 1, used | (1u << v) | (1u << w), current, out);
     current.pop_back();
@@ -74,7 +32,6 @@ void enumerate_half_duplex(const graph::Digraph& g, int v, std::uint32_t used,
   // v as head.
   for (int w : g.in_neighbors(v)) {
     if (w == v || ((used >> w) & 1)) continue;
-    extended = true;
     current.push_back({w, v});
     enumerate_half_duplex(g, v + 1, used | (1u << v) | (1u << w), current, out);
     current.pop_back();
@@ -83,7 +40,6 @@ void enumerate_half_duplex(const graph::Digraph& g, int v, std::uint32_t used,
   // partners get used later; enumerate the branch and filter for set
   // maximality afterwards.
   enumerate_half_duplex(g, v + 1, used | (1u << v), current, out);
-  (void)extended;
 }
 
 void enumerate_full_duplex(const graph::Digraph& g, int v, std::uint32_t used,
@@ -109,7 +65,8 @@ void enumerate_full_duplex(const graph::Digraph& g, int v, std::uint32_t used,
 }
 
 // Keep only set-maximal rounds (no round strictly contained in another) and
-// deduplicate.
+// deduplicate.  The sort here establishes the canonical list ordering
+// documented in the header: lexicographic by (canonicalized) arc vector.
 std::vector<Round> prune_to_maximal(std::vector<Round> rounds) {
   std::sort(rounds.begin(), rounds.end(),
             [](const Round& a, const Round& b) { return a.arcs < b.arcs; });
@@ -131,8 +88,8 @@ std::vector<Round> prune_to_maximal(std::vector<Round> rounds) {
 }  // namespace
 
 std::vector<Round> maximal_matchings(const graph::Digraph& g, Mode mode) {
-  if (g.vertex_count() > 8)
-    throw std::invalid_argument("maximal_matchings: n <= 8 required");
+  if (g.vertex_count() > 16)
+    throw std::invalid_argument("maximal_matchings: n <= 16 required");
   std::vector<Round> out;
   std::vector<graph::Arc> current;
   if (mode == Mode::kFullDuplex)
@@ -144,57 +101,18 @@ std::vector<Round> maximal_matchings(const graph::Digraph& g, Mode mode) {
 
 OptimalResult optimal_gossip(const graph::Digraph& g, Mode mode, int max_rounds,
                              std::size_t max_states) {
-  const int n = g.vertex_count();
-  if (n > 8) throw std::invalid_argument("optimal_gossip: n <= 8 required");
+  search::SolveOptions opts;
+  opts.problem = search::Problem::kGossip;
+  opts.mode = mode;
+  opts.max_rounds = max_rounds;
+  opts.max_states = max_states;
+  opts.want_witness = true;  // serial parent-tracking BFS
+  auto sr = search::solve(g, opts);
   OptimalResult res;
-  if (n <= 1) {
-    res.rounds = 0;
-    return res;
-  }
-  const auto moves = maximal_matchings(g, mode);
-  const std::uint64_t start = initial_state(n);
-  const std::uint64_t goal = goal_state(n);
-
-  // BFS with parent tracking for the witness protocol.
-  struct Visit {
-    std::uint64_t parent;
-    int move;  // index into `moves`
-  };
-  std::unordered_map<std::uint64_t, Visit> visited;
-  visited.emplace(start, Visit{start, -1});
-  std::vector<std::uint64_t> frontier{start};
-  for (int depth = 1; depth <= max_rounds && !frontier.empty(); ++depth) {
-    std::vector<std::uint64_t> next_frontier;
-    for (std::uint64_t state : frontier) {
-      for (std::size_t m = 0; m < moves.size(); ++m) {
-        const std::uint64_t next = apply(state, moves[m], mode, n);
-        if (next == state) continue;
-        if (visited.contains(next)) continue;
-        if (visited.size() >= max_states) {
-          res.budget_exhausted = true;
-          res.states_explored = visited.size();
-          return res;
-        }
-        visited.emplace(next, Visit{state, static_cast<int>(m)});
-        if (next == goal) {
-          res.rounds = depth;
-          res.states_explored = visited.size();
-          // Reconstruct the witness.
-          std::uint64_t cur = next;
-          while (cur != start) {
-            const auto& v = visited.at(cur);
-            res.witness.push_back(moves[static_cast<std::size_t>(v.move)]);
-            cur = v.parent;
-          }
-          std::reverse(res.witness.begin(), res.witness.end());
-          return res;
-        }
-        next_frontier.push_back(next);
-      }
-    }
-    frontier = std::move(next_frontier);
-  }
-  res.states_explored = visited.size();
+  res.rounds = sr.rounds;
+  res.states_explored = sr.states_explored;
+  res.budget_exhausted = sr.budget_exhausted;
+  res.witness = std::move(sr.witness);
   return res;
 }
 

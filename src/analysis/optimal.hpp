@@ -1,13 +1,13 @@
-// Exhaustive optimal gossip for tiny networks.
+// Exact optimal gossip for small networks — thin wrapper over the
+// exact-search subsystem.
 //
-// Searches over ALL protocols (unrestricted, non-systolic) by BFS on the
-// global knowledge state; moves are the maximal matchings of the network in
-// the chosen duplex mode.  Restricting to maximal matchings is lossless:
-// knowledge is monotone, so extending a round's matching never hurts.
-//
-// The state packs the n x n knowledge matrix into a 64-bit key, so n <= 8
-// is required (and n <= 6 is practical).  Used to check the tightness of
-// the lower bounds on concrete small instances.
+// Historically this header hosted a serial BFS over knowledge states packed
+// into a single 64-bit key (n <= 8, practical to n <= 6).  That search now
+// lives in src/search/ as a symmetry-reduced, bound-pruned, frontier-
+// parallel solver handling n <= 12 and broadcast as well as gossip; see
+// search/solver.hpp.  optimal_gossip() remains as the witness-producing
+// convenience entry point, and maximal_matchings() as the shared move
+// generator.
 #pragma once
 
 #include <cstdint>
@@ -18,9 +18,16 @@
 
 namespace sysgo::analysis {
 
-/// All maximal matchings of g in the given mode, each canonicalized.
-/// Half-duplex: maximal sets of vertex-disjoint arcs; full-duplex: maximal
-/// sets of vertex-disjoint opposite pairs (both arcs listed).
+/// All maximal matchings of g in the given mode (n <= 16).  Half-duplex:
+/// maximal sets of vertex-disjoint arcs; full-duplex: maximal sets of
+/// vertex-disjoint opposite pairs (both arcs listed).
+///
+/// Canonical ordering contract: every returned round is canonicalized
+/// (arcs sorted by (tail, head)) and the list is sorted lexicographically
+/// by arc vector, with no duplicates.  The ordering therefore depends only
+/// on the arc SET of g — not on arc insertion order — which is what keeps
+/// solver results and witness protocols deterministic across thread
+/// counts and rebuilt graphs.
 [[nodiscard]] std::vector<protocol::Round> maximal_matchings(
     const graph::Digraph& g, protocol::Mode mode);
 
@@ -32,10 +39,12 @@ struct OptimalResult {
   std::vector<protocol::Round> witness;
 };
 
-/// Minimum gossip time over all protocols on g (n <= 8).  The search aborts
-/// with budget_exhausted once max_states knowledge states have been visited
-/// (dense half-duplex instances grow beyond memory quickly: K6 half-duplex
-/// already exceeds 10^8 reachable states).
+/// Minimum gossip time over all protocols on g (n <= 12), with a witness
+/// protocol.  Delegates to search::solve with symmetry reduction on; the
+/// search aborts with budget_exhausted once max_states canonical knowledge
+/// states have been visited.  states_explored counts canonical states —
+/// orbit representatives — so it is smaller than the raw reachable count
+/// by up to a factor of |Aut(g)|.
 [[nodiscard]] OptimalResult optimal_gossip(const graph::Digraph& g,
                                            protocol::Mode mode,
                                            int max_rounds = 32,

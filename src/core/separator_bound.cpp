@@ -42,8 +42,11 @@ double diameter_coefficient(topology::Family family, int d) {
     case Family::kKautzDirected:
     case Family::kKautz:
       return 1.0 / logd;
+    default:
+      break;  // classic testbed families: no asymptotic diameter coefficient
   }
-  throw std::invalid_argument("diameter_coefficient: unknown family");
+  throw std::invalid_argument("diameter_coefficient: no analysis for " +
+                              topology::family_name(family, d));
 }
 
 }  // namespace sysgo::core

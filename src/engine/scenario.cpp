@@ -16,6 +16,8 @@ std::string task_name(Task t) {
     case Task::kSimulate: return "simulate";
     case Task::kAudit: return "audit";
     case Task::kSeparatorCheck: return "separator";
+    case Task::kSolveGossip: return "solve-gossip";
+    case Task::kSolveBroadcast: return "solve-broadcast";
   }
   return "?";
 }
@@ -26,11 +28,15 @@ Task parse_task_name(const std::string& name) {
   if (name == "simulate") return Task::kSimulate;
   if (name == "audit") return Task::kAudit;
   if (name == "separator") return Task::kSeparatorCheck;
+  if (name == "solve-gossip") return Task::kSolveGossip;
+  if (name == "solve-broadcast") return Task::kSolveBroadcast;
   throw std::invalid_argument("unknown task: " + name);
 }
 
 bool task_needs_dimension(Task t) noexcept {
-  return t == Task::kSimulate || t == Task::kAudit || t == Task::kSeparatorCheck;
+  return t == Task::kSimulate || t == Task::kAudit ||
+         t == Task::kSeparatorCheck || t == Task::kSolveGossip ||
+         t == Task::kSolveBroadcast;
 }
 
 std::size_t ScenarioKeyHash::operator()(const ScenarioKey& k) const noexcept {
@@ -46,6 +52,15 @@ std::vector<Family> all_families() {
           Family::kWrappedButterfly, Family::kDeBruijnDirected,
           Family::kDeBruijn,         Family::kKautzDirected,
           Family::kKautz};
+}
+
+std::vector<Family> registry_families() {
+  auto fams = all_families();
+  fams.insert(fams.end(),
+              {Family::kCycle, Family::kComplete, Family::kHypercube,
+               Family::kCubeConnectedCycles, Family::kShuffleExchange,
+               Family::kKnodel});
+  return fams;
 }
 
 std::vector<SweepJob> ScenarioSpec::expand() const {
@@ -94,7 +109,8 @@ bool same_result(const SweepRecord& a, const SweepRecord& b) {
          a.alpha == b.alpha && a.ell == b.ell && a.e == b.e &&
          a.lambda == b.lambda && a.rounds == b.rounds &&
          a.diameter == b.diameter && a.sep_distance == b.sep_distance &&
-         a.sep_min_size == b.sep_min_size;
+         a.sep_min_size == b.sep_min_size && a.states == b.states &&
+         a.group == b.group && a.budget == b.budget;
 }
 
 std::string family_token(Family f) {
@@ -106,6 +122,12 @@ std::string family_token(Family f) {
     case Family::kDeBruijn: return "db";
     case Family::kKautzDirected: return "kautz-dir";
     case Family::kKautz: return "kautz";
+    case Family::kCycle: return "cycle";
+    case Family::kComplete: return "complete";
+    case Family::kHypercube: return "hypercube";
+    case Family::kCubeConnectedCycles: return "ccc";
+    case Family::kShuffleExchange: return "se";
+    case Family::kKnodel: return "knodel";
   }
   return "?";
 }
@@ -118,6 +140,12 @@ Family parse_family_token(const std::string& token) {
   if (token == "db") return Family::kDeBruijn;
   if (token == "kautz-dir") return Family::kKautzDirected;
   if (token == "kautz") return Family::kKautz;
+  if (token == "cycle") return Family::kCycle;
+  if (token == "complete") return Family::kComplete;
+  if (token == "hypercube") return Family::kHypercube;
+  if (token == "ccc") return Family::kCubeConnectedCycles;
+  if (token == "se") return Family::kShuffleExchange;
+  if (token == "knodel") return Family::kKnodel;
   throw std::invalid_argument("unknown family: " + token);
 }
 

@@ -24,10 +24,13 @@ enum class Task {
   kSimulate,        // measured gossip time of the edge-coloring schedule
   kAudit,           // Theorem 4.1 certified lower bound for the schedule
   kSeparatorCheck,  // BFS-verify the Lemma 3.1 separator + graph stats
+  kSolveGossip,     // exact optimal gossip time (search::solve, n <= 12)
+  kSolveBroadcast,  // exact optimal broadcast time from vertex 0
 };
 
 /// Stable token used in CSV/JSON output and CLI flags:
-/// "bound" | "diameter" | "simulate" | "audit" | "separator".
+/// "bound" | "diameter" | "simulate" | "audit" | "separator" |
+/// "solve-gossip" | "solve-broadcast".
 [[nodiscard]] std::string task_name(Task t);
 [[nodiscard]] Task parse_task_name(const std::string& name);  // throws
 
@@ -59,6 +62,16 @@ struct SweepJob {
   friend bool operator==(const SweepJob&, const SweepJob&) = default;
 };
 
+/// Per-task execution limits shared by every job of a run.  solve_threads
+/// is the INNER solver parallelism (jobs already run concurrently on the
+/// runner's pool; solver results are thread-count independent either way).
+struct ExecutionLimits {
+  int simulate_max_rounds = 1 << 20;
+  int solve_max_rounds = 64;
+  std::size_t solve_max_states = 20'000'000;
+  unsigned solve_threads = 1;
+};
+
 /// Declarative sweep grid.
 ///
 /// expand() order is deterministic: family (outer) → degree → dimension →
@@ -78,13 +91,17 @@ struct ScenarioSpec {
   std::vector<int> periods;  // for kBound; may include core::kUnboundedPeriod
   std::vector<Task> tasks;
   std::vector<ScenarioKey> explicit_keys;
-  int simulate_max_rounds = 1 << 20;
+  ExecutionLimits limits;
 
   [[nodiscard]] std::vector<SweepJob> expand() const;
 };
 
 /// The seven families of the paper's tables, in registry order.
 [[nodiscard]] std::vector<topology::Family> all_families();
+
+/// Every registered family: the paper's seven plus the classic testbed
+/// topologies (cycle, complete, hypercube, CCC, shuffle-exchange, Knödel).
+[[nodiscard]] std::vector<topology::Family> registry_families();
 
 /// Structured result of one executed job.  Fields not meaningful for the
 /// job's task keep their sentinel defaults.
@@ -99,10 +116,18 @@ struct SweepRecord {
   double e = 0.0;       // bound coefficient of log2(n) (bound/diameter/audit)
   double lambda = 0.0;  // maximizing / certified λ
   int rounds = -1;      // simulate: measured gossip time; audit: certified
-                        // round lower bound
+                        // round lower bound; solve-*: exact optimum, or -1
+                        // (see budget; states/group are also -1 when the
+                        // member was oversized (n > 12) or unbuildable
+                        // (n = 0))
   int diameter = -1;          // separator task
   int sep_distance = -1;      // separator task: BFS-verified distance
   std::int64_t sep_min_size = -1;  // separator task: min(|V1|, |V2|)
+  std::int64_t states = -1;   // solve tasks: canonical states explored
+  std::int64_t group = -1;    // solve tasks: automorphism subgroup order
+  int budget = -1;      // solve tasks: 1 = state budget exhausted (raise
+                        // solve_max_states), 0 = searched to completion;
+                        // -1 = not applicable
   double millis = 0.0;  // wall-clock job time
 };
 
@@ -110,7 +135,8 @@ struct SweepRecord {
 [[nodiscard]] bool same_result(const SweepRecord& a, const SweepRecord& b);
 
 /// Stable family token for CSV/JSON output and CLI flags: "bf" | "wbf-dir" |
-/// "wbf" | "db-dir" | "db" | "kautz-dir" | "kautz".
+/// "wbf" | "db-dir" | "db" | "kautz-dir" | "kautz" | "cycle" | "complete" |
+/// "hypercube" | "ccc" | "se" | "knodel".
 [[nodiscard]] std::string family_token(topology::Family f);
 [[nodiscard]] topology::Family parse_family_token(const std::string& token);  // throws
 

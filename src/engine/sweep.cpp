@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "core/separator_bound.hpp"
 #include "graph/search.hpp"
 #include "protocol/builders.hpp"
+#include "search/solver.hpp"
+#include "search/state.hpp"
 #include "separator/separator.hpp"
 #include "simulator/gossip_sim.hpp"
 #include "util/thread_pool.hpp"
@@ -97,12 +100,26 @@ std::shared_ptr<const ScenarioArtifacts> SweepRunner::artifacts(
   return cache_.get_or_build(key, build);
 }
 
-SweepRecord SweepRunner::run_job(const SweepJob& job, int simulate_max_rounds) {
+SweepRecord SweepRunner::run_job(const SweepJob& job,
+                                 const ExecutionLimits& limits) {
   const auto t0 = Clock::now();
   SweepRecord r;
   r.key = job.key;
   r.task = job.task;
   r.s = job.s;
+  // The separator-analysis tasks only exist for the paper's seven
+  // families; other registry members get a sentinel record — analytic
+  // fields forced to -1, which no computed bound can produce — instead of
+  // aborting the sweep.
+  const bool needs_separator_analysis =
+      job.task == Task::kBound || job.task == Task::kDiameterBound ||
+      job.task == Task::kSeparatorCheck;
+  if (needs_separator_analysis &&
+      !topology::family_has_separator_analysis(job.key.family)) {
+    r.alpha = r.ell = r.e = r.lambda = -1.0;
+    r.millis = millis_since(t0);
+    return r;
+  }
   switch (job.task) {
     case Task::kBound: {
       const auto params = separator::lemma31_params(job.key.family, job.key.d);
@@ -122,7 +139,7 @@ SweepRecord SweepRunner::run_job(const SweepJob& job, int simulate_max_rounds) {
       const auto art = artifacts(job.key);
       r.n = art->schedule.n;
       r.s = art->schedule.period_length();
-      r.rounds = simulator::gossip_time(art->schedule, simulate_max_rounds);
+      r.rounds = simulator::gossip_time(art->schedule, limits.simulate_max_rounds);
       break;
     }
     case Task::kAudit: {
@@ -149,24 +166,61 @@ SweepRecord SweepRunner::run_job(const SweepJob& job, int simulate_max_rounds) {
           static_cast<std::int64_t>(std::min(chk.size1, chk.size2));
       break;
     }
+    case Task::kSolveGossip:
+    case Task::kSolveBroadcast: {
+      // Oversized or invalid grid members (n > 12, odd Knödel n, CCC with
+      // D < 3, ...) yield a sentinel record (rounds/states/group all -1)
+      // instead of killing the whole sweep.  The closed-form order check
+      // keeps sentinels O(1) — no graph or schedule is ever built for
+      // members the solver cannot take.
+      std::int64_t order;
+      try {
+        order = topology::family_order(job.key.family, job.key.d, job.key.D);
+      } catch (const std::invalid_argument&) {
+        break;  // unbuildable member: sentinel with n = 0
+      }
+      if (order > search::kMaxVertices) {
+        r.n = static_cast<int>(
+            std::min<std::int64_t>(order, std::numeric_limits<int>::max()));
+        break;
+      }
+      // Solvable members are tiny (n <= 12): build just the graph, not the
+      // artifact bundle — its edge-coloring schedule is never read here.
+      const auto g = topology::make_family(job.key.family, job.key.d, job.key.D);
+      r.n = g.vertex_count();
+      search::SolveOptions so;
+      so.problem = job.task == Task::kSolveGossip
+                       ? search::Problem::kGossip
+                       : search::Problem::kBroadcast;
+      so.mode = job.key.mode;
+      so.max_rounds = limits.solve_max_rounds;
+      so.max_states = limits.solve_max_states;
+      so.threads = limits.solve_threads;
+      const auto sr = search::solve(g, so);
+      r.rounds = sr.rounds;
+      r.states = static_cast<std::int64_t>(sr.states_explored);
+      r.group = static_cast<std::int64_t>(sr.group_order);
+      r.budget = sr.budget_exhausted ? 1 : 0;
+      break;
+    }
   }
   r.millis = millis_since(t0);
   return r;
 }
 
 std::vector<SweepRecord> SweepRunner::run_jobs(const std::vector<SweepJob>& jobs,
-                                               int simulate_max_rounds) {
+                                               const ExecutionLimits& limits) {
   std::vector<SweepRecord> records(jobs.size());
   run_indexed_with_options(opts_, own_pool_.get(), jobs.size(),
                            [&](std::size_t i) {
-                             records[i] = run_job(jobs[i], simulate_max_rounds);
+                             records[i] = run_job(jobs[i], limits);
                              if (opts_.on_record) opts_.on_record(i, records[i]);
                            });
   return records;
 }
 
 std::vector<SweepRecord> SweepRunner::run(const ScenarioSpec& spec) {
-  return run_jobs(spec.expand(), spec.simulate_max_rounds);
+  return run_jobs(spec.expand(), spec.limits);
 }
 
 // ---------------------------------------------------------------- run_cases

@@ -78,7 +78,7 @@ class SweepRunner {
 
   /// Execute a pre-expanded job list (records in job order).
   [[nodiscard]] std::vector<SweepRecord> run_jobs(
-      const std::vector<SweepJob>& jobs, int simulate_max_rounds = 1 << 20);
+      const std::vector<SweepJob>& jobs, const ExecutionLimits& limits = {});
 
   [[nodiscard]] ArtifactCache::Stats cache_stats() const {
     return cache_.stats();
@@ -88,7 +88,7 @@ class SweepRunner {
   [[nodiscard]] std::shared_ptr<const ScenarioArtifacts> artifacts(
       const ScenarioKey& key);
   [[nodiscard]] SweepRecord run_job(const SweepJob& job,
-                                    int simulate_max_rounds);
+                                    const ExecutionLimits& limits);
 
   SweepOptions opts_;
   ArtifactCache cache_;

@@ -23,7 +23,7 @@ const std::vector<std::string> kColumns{
     "family", "d",        "D",            "mode",         "task",
     "s",      "n",        "alpha",        "ell",          "e",
     "lambda", "rounds",   "diameter",     "sep_distance", "sep_min_size",
-    "millis"};
+    "states", "group",    "budget",       "millis"};
 
 std::vector<std::string> record_cells(const engine::SweepRecord& r) {
   return {engine::family_token(r.key.family),
@@ -41,6 +41,9 @@ std::vector<std::string> record_cells(const engine::SweepRecord& r) {
           std::to_string(r.diameter),
           std::to_string(r.sep_distance),
           std::to_string(r.sep_min_size),
+          std::to_string(r.states),
+          std::to_string(r.group),
+          std::to_string(r.budget),
           full_double(r.millis)};
 }
 
@@ -63,6 +66,9 @@ engine::SweepRecord record_from_fields(
     else if (key == "diameter") r.diameter = std::stoi(value);
     else if (key == "sep_distance") r.sep_distance = std::stoi(value);
     else if (key == "sep_min_size") r.sep_min_size = std::stoll(value);
+    else if (key == "states") r.states = std::stoll(value);
+    else if (key == "group") r.group = std::stoll(value);
+    else if (key == "budget") r.budget = std::stoi(value);
     else if (key == "millis") r.millis = std::stod(value);
     else throw std::invalid_argument("unknown sweep field: " + key);
   }

@@ -1,0 +1,74 @@
+#include "search/state.hpp"
+
+#include <cstring>
+
+namespace sysgo::search {
+
+namespace {
+
+// splitmix64 finalizer: cheap and well-distributed for 64-bit lanes.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t StateHash::operator()(const State& s) const noexcept {
+  // 12 x 16 bits = three 64-bit lanes.
+  std::uint64_t w[3];
+  static_assert(sizeof w == sizeof s.rows);
+  std::memcpy(w, s.rows.data(), sizeof w);
+  std::uint64_t h = mix64(w[0]);
+  h = mix64(h ^ w[1]);
+  h = mix64(h ^ w[2]);
+  return static_cast<std::size_t>(h);
+}
+
+State initial_gossip_state(int n) {
+  State s;
+  for (int v = 0; v < n; ++v)
+    s.rows[static_cast<std::size_t>(v)] = static_cast<std::uint16_t>(1u << v);
+  return s;
+}
+
+State gossip_goal_state(int n) {
+  State s;
+  const auto full = static_cast<std::uint16_t>((1u << n) - 1u);
+  for (int v = 0; v < n; ++v) s.rows[static_cast<std::size_t>(v)] = full;
+  return s;
+}
+
+State apply_round(const State& s, const protocol::Round& round,
+                  protocol::Mode mode) {
+  State next = s;
+  if (mode == protocol::Mode::kFullDuplex) {
+    for (const auto& a : round.arcs) {
+      if (a.tail >= a.head) continue;  // each pair is listed in both directions
+      const auto u = static_cast<std::uint16_t>(
+          s.rows[static_cast<std::size_t>(a.tail)] |
+          s.rows[static_cast<std::size_t>(a.head)]);
+      next.rows[static_cast<std::size_t>(a.tail)] = u;
+      next.rows[static_cast<std::size_t>(a.head)] = u;
+    }
+  } else {
+    for (const auto& a : round.arcs)
+      next.rows[static_cast<std::size_t>(a.head)] = static_cast<std::uint16_t>(
+          s.rows[static_cast<std::size_t>(a.head)] |
+          s.rows[static_cast<std::size_t>(a.tail)]);
+  }
+  return next;
+}
+
+std::uint16_t apply_round_mask(std::uint16_t informed,
+                               const protocol::Round& round) {
+  std::uint16_t next = informed;
+  for (const auto& a : round.arcs)
+    if ((informed >> a.tail) & 1u)
+      next = static_cast<std::uint16_t>(next | (1u << a.head));
+  return next;
+}
+
+}  // namespace sysgo::search

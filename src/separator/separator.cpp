@@ -28,8 +28,11 @@ SeparatorParams lemma31_params(Family f, int d) {
     case Family::kKautzDirected:
     case Family::kKautz:
       return {logd, 1.0 / logd};
+    default:
+      break;  // classic testbed families: no Lemma 3.1 analysis
   }
-  throw std::invalid_argument("lemma31_params: unknown family");
+  throw std::invalid_argument("lemma31_params: no separator analysis for " +
+                              topology::family_name(f, d));
 }
 
 std::vector<int> shift_robust_positions(int D, int h) {
@@ -179,8 +182,11 @@ Separator build_separator(Family f, int d, int D) {
       sep.designed_distance = 0;  // D - O(sqrt(D))
       return sep;
     }
+    default:
+      break;  // classic testbed families: no Lemma 3.1 construction
   }
-  throw std::invalid_argument("build_separator: unknown family");
+  throw std::invalid_argument("build_separator: no separator construction for " +
+                              topology::family_name(f, d));
 }
 
 SeparatorCheck verify_separator(const graph::Digraph& g, const Separator& sep) {

@@ -7,7 +7,7 @@
 namespace sysgo::topology {
 
 std::int64_t butterfly_order(int d, int D) noexcept {
-  return static_cast<std::int64_t>(D + 1) * ipow(d, D);
+  return sat_mul(D + 1, ipow(d, D));
 }
 
 int butterfly_index(std::int64_t word, int level, int d, int D) noexcept {

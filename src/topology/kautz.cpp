@@ -18,7 +18,7 @@ std::int64_t pack(const std::vector<int>& w, int d) {
 }  // namespace
 
 std::int64_t kautz_order(int d, int D) noexcept {
-  return static_cast<std::int64_t>(d + 1) * ipow(d, D - 1);
+  return sat_mul(d + 1, ipow(d, D - 1));
 }
 
 std::vector<std::vector<int>> kautz_words(int d, int D) {

@@ -3,8 +3,12 @@
 #include <stdexcept>
 
 #include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/classic.hpp"
 #include "topology/de_bruijn.hpp"
 #include "topology/kautz.hpp"
+#include "topology/knodel.hpp"
+#include "topology/shuffle_exchange.hpp"
 #include "topology/wrapped_butterfly.hpp"
 
 namespace sysgo::topology {
@@ -19,6 +23,12 @@ std::string family_name(Family f, int d) {
     case Family::kDeBruijn: return "DB(" + ds + ",D)";
     case Family::kKautzDirected: return "K->(" + ds + ",D)";
     case Family::kKautz: return "K(" + ds + ",D)";
+    case Family::kCycle: return "C(D)";
+    case Family::kComplete: return "K(D)";
+    case Family::kHypercube: return "Q(D)";
+    case Family::kCubeConnectedCycles: return "CCC(D)";
+    case Family::kShuffleExchange: return "SE(D)";
+    case Family::kKnodel: return "W(" + ds + ",D)";
   }
   throw std::invalid_argument("family_name: unknown family");
 }
@@ -32,8 +42,65 @@ graph::Digraph make_family(Family f, int d, int D) {
     case Family::kDeBruijn: return de_bruijn(d, D);
     case Family::kKautzDirected: return kautz_directed(d, D);
     case Family::kKautz: return kautz(d, D);
+    case Family::kCycle: return cycle(D);
+    case Family::kComplete: return complete(D);
+    case Family::kHypercube: return hypercube(D);
+    case Family::kCubeConnectedCycles: return cube_connected_cycles(D);
+    case Family::kShuffleExchange: return shuffle_exchange(D);
+    case Family::kKnodel: return knodel(d, D);
   }
   throw std::invalid_argument("make_family: unknown family");
+}
+
+std::int64_t family_order(Family f, int d, int D) {
+  // Mirrors the parameter validation of each family constructor so the
+  // throw conditions match make_family without building anything.
+  const auto check = [](bool ok, const char* message) {
+    if (!ok) throw std::invalid_argument(message);
+  };
+  const auto check_size = [&check](std::int64_t n, const char* message) {
+    check(n <= (1 << 24), message);
+    return n;
+  };
+  switch (f) {
+    case Family::kButterfly:
+      check(d >= 2 && D >= 1, "butterfly: need d >= 2, D >= 1");
+      return check_size(butterfly_order(d, D), "butterfly: too large");
+    case Family::kWrappedButterflyDirected:
+    case Family::kWrappedButterfly:
+      check(d >= 2 && D >= 2, "wrapped_butterfly: need d >= 2, D >= 2");
+      return check_size(wrapped_butterfly_order(d, D),
+                        "wrapped_butterfly: too large");
+    case Family::kDeBruijnDirected:
+    case Family::kDeBruijn:
+      check(d >= 2 && D >= 1, "de_bruijn: need d >= 2, D >= 1");
+      return check_size(de_bruijn_order(d, D), "de_bruijn: too large");
+    case Family::kKautzDirected:
+    case Family::kKautz:
+      check(d >= 2 && D >= 1, "kautz: need d >= 2, D >= 1");
+      return check_size(kautz_order(d, D), "kautz: too large");
+    case Family::kCycle:
+      check(D >= 3, "cycle: need n >= 3");
+      return D;
+    case Family::kComplete:
+      check(D >= 2, "complete: need n >= 2");
+      return D;
+    case Family::kHypercube:
+      check(D >= 1 && D <= 24, "hypercube: need 1 <= D <= 24");
+      return std::int64_t{1} << D;
+    case Family::kCubeConnectedCycles:
+      check(D >= 3 && D <= 20, "cube_connected_cycles: need 3 <= D <= 20");
+      return check_size(ccc_order(D), "cube_connected_cycles: too large");
+    case Family::kShuffleExchange:
+      check(D >= 2 && D <= 24, "shuffle_exchange: need 2 <= D <= 24");
+      return std::int64_t{1} << D;
+    case Family::kKnodel:
+      check(D >= 2 && D % 2 == 0, "knodel: n must be even and >= 2");
+      check(d >= 1 && d <= knodel_max_delta(D),
+            "knodel: need 1 <= delta <= floor(log2(n))");
+      return D;
+  }
+  throw std::invalid_argument("family_order: unknown family");
 }
 
 bool family_is_symmetric(Family f) noexcept {
@@ -41,6 +108,27 @@ bool family_is_symmetric(Family f) noexcept {
     case Family::kButterfly:
     case Family::kWrappedButterfly:
     case Family::kDeBruijn:
+    case Family::kKautz:
+    case Family::kCycle:
+    case Family::kComplete:
+    case Family::kHypercube:
+    case Family::kCubeConnectedCycles:
+    case Family::kShuffleExchange:
+    case Family::kKnodel:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool family_has_separator_analysis(Family f) noexcept {
+  switch (f) {
+    case Family::kButterfly:
+    case Family::kWrappedButterflyDirected:
+    case Family::kWrappedButterfly:
+    case Family::kDeBruijnDirected:
+    case Family::kDeBruijn:
+    case Family::kKautzDirected:
     case Family::kKautz:
       return true;
     default:

@@ -11,7 +11,10 @@
 
 namespace sysgo::topology {
 
-/// Families appearing in Figs. 5, 6 and 8 of the paper.
+/// Every registered network family.  The first seven are the families of
+/// Figs. 5, 6 and 8 of the paper; the rest are the classic testbed
+/// topologies implemented under topology/ (registered so sweeps and the
+/// exact-search solver can enumerate them by name).
 enum class Family {
   kButterfly,                 // BF(d, D), symmetric
   kWrappedButterflyDirected,  // WBF→(d, D)
@@ -20,15 +23,34 @@ enum class Family {
   kDeBruijn,                  // DB(d, D), undirected
   kKautzDirected,             // K→(d, D)
   kKautz,                     // K(d, D), undirected
+  kCycle,                     // C_D (D = vertex count; d unused)
+  kComplete,                  // K_D (D = vertex count; d unused)
+  kHypercube,                 // Q_D (d unused)
+  kCubeConnectedCycles,       // CCC(D) (d unused)
+  kShuffleExchange,           // SE(D), undirected (d unused)
+  kKnodel,                    // W(d, D) Knödel graph (D = vertex count, even)
 };
 
 /// Short display name matching the paper's notation, e.g. "WBF(2,D)".
 [[nodiscard]] std::string family_name(Family f, int d);
 
-/// Instantiate the family at dimension D.
+/// Instantiate the family at dimension D.  For kCycle / kComplete / kKnodel
+/// the "dimension" is the vertex count; d parameterizes only the degree-d
+/// families (it is ignored by the fixed-degree classics).
 [[nodiscard]] graph::Digraph make_family(Family f, int d, int D);
+
+/// Vertex count of make_family(f, d, D) in closed form, validating the
+/// same parameter constraints (throws std::invalid_argument exactly when
+/// make_family would).  Lets callers size-gate a member without paying for
+/// its construction.
+[[nodiscard]] std::int64_t family_order(Family f, int d, int D);
 
 /// True for families whose digraph is symmetric (undirected networks).
 [[nodiscard]] bool family_is_symmetric(Family f) noexcept;
+
+/// True for the seven families with Lemma 3.1 separator analysis (the
+/// paper's tables); the classic testbed families have none, and the
+/// separator-based tasks reject them.
+[[nodiscard]] bool family_has_separator_analysis(Family f) noexcept;
 
 }  // namespace sysgo::topology

@@ -1,10 +1,25 @@
 #include "topology/words.hpp"
 
+#include <limits>
+
 namespace sysgo::topology {
 
 std::int64_t ipow(int d, int e) noexcept {
+  // Saturates instead of overflowing: every caller validates sizes against
+  // small ceilings (<= 2^24), so a saturated result reads as "too large"
+  // rather than as wrapped UB garbage.
   std::int64_t r = 1;
-  for (int i = 0; i < e; ++i) r *= d;
+  for (int i = 0; i < e; ++i) {
+    if (__builtin_mul_overflow(r, d, &r))
+      return std::numeric_limits<std::int64_t>::max();
+  }
+  return r;
+}
+
+std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t r;
+  if (__builtin_mul_overflow(a, b, &r))
+    return std::numeric_limits<std::int64_t>::max();
   return r;
 }
 

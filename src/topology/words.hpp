@@ -11,8 +11,14 @@
 
 namespace sysgo::topology {
 
-/// d^e as a 64-bit integer (small exponents only).
+/// d^e as a 64-bit integer, saturating at INT64_MAX on overflow (callers
+/// compare against small size ceilings, so saturation reads as "too
+/// large").
 [[nodiscard]] std::int64_t ipow(int d, int e) noexcept;
+
+/// a * b saturating at INT64_MAX — for the order formulas that multiply an
+/// ipow by a level/symbol count before a size check.
+[[nodiscard]] std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept;
 
 /// Digit i (0 = least significant) of `word` in base d.
 [[nodiscard]] int digit(std::int64_t word, int i, int d) noexcept;

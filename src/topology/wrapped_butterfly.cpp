@@ -7,7 +7,7 @@
 namespace sysgo::topology {
 
 std::int64_t wrapped_butterfly_order(int d, int D) noexcept {
-  return static_cast<std::int64_t>(D) * ipow(d, D);
+  return sat_mul(D, ipow(d, D));
 }
 
 int wrapped_butterfly_index(std::int64_t word, int level, int d, int D) noexcept {

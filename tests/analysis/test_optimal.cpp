@@ -8,6 +8,8 @@
 #include "graph/matching.hpp"
 #include "simulator/broadcast_sim.hpp"
 #include "topology/classic.hpp"
+#include "topology/knodel.hpp"
+#include "util/rng.hpp"
 
 namespace sysgo::analysis {
 namespace {
@@ -46,6 +48,45 @@ TEST(MaximalMatchings, P3FullDuplexHasTwo) {
   // P3 edges {0,1}, {1,2}: each alone is maximal (they share vertex 1).
   const auto fd = maximal_matchings(topology::path(3), Mode::kFullDuplex);
   EXPECT_EQ(fd.size(), 2u);
+}
+
+TEST(MaximalMatchings, CanonicalOrderingContract) {
+  // Documented contract: each round's arcs sorted by (tail, head), rounds
+  // sorted lexicographically, no duplicates.
+  for (Mode mode : {Mode::kHalfDuplex, Mode::kFullDuplex}) {
+    const auto rounds = maximal_matchings(topology::cycle(6), mode);
+    ASSERT_FALSE(rounds.empty());
+    for (const auto& r : rounds)
+      EXPECT_TRUE(std::is_sorted(r.arcs.begin(), r.arcs.end()));
+    for (std::size_t i = 1; i < rounds.size(); ++i)
+      EXPECT_LT(rounds[i - 1].arcs, rounds[i].arcs);
+  }
+}
+
+TEST(MaximalMatchings, OrderingIndependentOfArcInsertionOrder) {
+  // Regression: solver determinism across thread counts relies on the move
+  // list depending only on the arc SET.  Build the same graph from shuffled
+  // arc input and compare the full ordered output.
+  const auto reference = topology::knodel(2, 8);
+  std::vector<graph::Arc> arcs(reference.arcs().begin(), reference.arcs().end());
+  util::Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::shuffle(arcs.begin(), arcs.end(), rng.engine());
+    graph::Digraph shuffled(reference.vertex_count(), arcs);
+    for (Mode mode : {Mode::kHalfDuplex, Mode::kFullDuplex}) {
+      const auto a = maximal_matchings(reference, mode);
+      const auto b = maximal_matchings(shuffled, mode);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].arcs, b[i].arcs) << "round " << i;
+    }
+  }
+}
+
+TEST(MaximalMatchings, SupportsUpToSixteenVertices) {
+  EXPECT_FALSE(maximal_matchings(topology::cycle(16), Mode::kHalfDuplex).empty());
+  EXPECT_THROW((void)maximal_matchings(topology::cycle(17), Mode::kHalfDuplex),
+               std::invalid_argument);
 }
 
 TEST(OptimalGossip, TrivialSizes) {
@@ -122,8 +163,20 @@ TEST(OptimalGossip, UnreachableWithinBudget) {
   EXPECT_EQ(res.rounds, -1);
 }
 
+TEST(OptimalGossip, HandlesNineVerticesViaSearchSubsystem) {
+  // The old 64-bit packing capped this entry point at n <= 8; it now
+  // delegates to search::solve (n <= 12).
+  const auto res = optimal_gossip(topology::cycle(9), Mode::kFullDuplex);
+  EXPECT_EQ(res.rounds, 6);
+  protocol::Protocol p;
+  p.n = 9;
+  p.mode = Mode::kFullDuplex;
+  p.rounds = res.witness;
+  EXPECT_TRUE(simulator::achieves_gossip(p));
+}
+
 TEST(OptimalGossip, RejectsLargeN) {
-  EXPECT_THROW((void)optimal_gossip(topology::path(9), Mode::kHalfDuplex),
+  EXPECT_THROW((void)optimal_gossip(topology::path(13), Mode::kHalfDuplex),
                std::invalid_argument);
 }
 

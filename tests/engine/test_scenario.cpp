@@ -9,16 +9,31 @@ using topology::Family;
 using protocol::Mode;
 
 TEST(Scenario, TokensRoundTrip) {
-  for (Family f : all_families())
+  for (Family f : registry_families())
     EXPECT_EQ(parse_family_token(family_token(f)), f);
   for (Task t : {Task::kBound, Task::kDiameterBound, Task::kSimulate,
-                 Task::kAudit, Task::kSeparatorCheck})
+                 Task::kAudit, Task::kSeparatorCheck, Task::kSolveGossip,
+                 Task::kSolveBroadcast})
     EXPECT_EQ(parse_task_name(task_name(t)), t);
   for (Mode m : {Mode::kHalfDuplex, Mode::kFullDuplex})
     EXPECT_EQ(parse_mode_name(mode_name(m)), m);
   EXPECT_THROW((void)parse_family_token("nope"), std::invalid_argument);
   EXPECT_THROW((void)parse_task_name("nope"), std::invalid_argument);
   EXPECT_THROW((void)parse_mode_name("nope"), std::invalid_argument);
+}
+
+TEST(Scenario, RegistryFamiliesExtendPaperFamilies) {
+  const auto paper = all_families();
+  const auto all = registry_families();
+  ASSERT_EQ(paper.size(), 7u);
+  ASSERT_EQ(all.size(), 13u);
+  for (std::size_t i = 0; i < paper.size(); ++i) EXPECT_EQ(all[i], paper[i]);
+}
+
+TEST(Scenario, SolveTasksNeedDimension) {
+  EXPECT_TRUE(task_needs_dimension(Task::kSolveGossip));
+  EXPECT_TRUE(task_needs_dimension(Task::kSolveBroadcast));
+  EXPECT_FALSE(task_needs_dimension(Task::kBound));
 }
 
 TEST(Scenario, GridExpansionCount) {

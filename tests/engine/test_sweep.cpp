@@ -8,7 +8,9 @@
 #include "core/separator_bound.hpp"
 #include "protocol/builders.hpp"
 #include "protocol/classic_protocols.hpp"
+#include "search/solver.hpp"
 #include "simulator/gossip_sim.hpp"
+#include "topology/classic.hpp"
 #include "topology/de_bruijn.hpp"
 
 namespace sysgo::engine {
@@ -119,6 +121,111 @@ TEST(Sweep, OnRecordSeesEveryIndexOnce) {
   SweepRunner runner{opts};
   const auto records = runner.run(small_grid());
   EXPECT_EQ(seen.size(), records.size());
+}
+
+TEST(Sweep, SolveTasksMatchDirectSearch) {
+  ScenarioSpec spec;
+  spec.families = {Family::kCycle, Family::kKnodel};
+  spec.degrees = {3};
+  spec.dimensions = {6, 8};
+  spec.modes = {Mode::kFullDuplex};
+  spec.tasks = {Task::kSolveGossip, Task::kSolveBroadcast};
+  SweepRunner runner;
+  const auto records = runner.run(spec);
+  ASSERT_EQ(records.size(), 8u);
+
+  // cycle D=6 gossip record reproduces search::solve directly.
+  search::SolveOptions so;
+  so.mode = Mode::kFullDuplex;
+  so.threads = 1;
+  const auto direct = search::solve(topology::cycle(6), so);
+  EXPECT_EQ(records[0].task, Task::kSolveGossip);
+  EXPECT_EQ(records[0].n, 6);
+  EXPECT_EQ(records[0].rounds, direct.rounds);
+  EXPECT_EQ(records[0].states, static_cast<std::int64_t>(direct.states_explored));
+  EXPECT_EQ(records[0].group, static_cast<std::int64_t>(direct.group_order));
+  EXPECT_EQ(records[0].budget, 0);
+
+  for (const auto& r : records) {
+    // W(3,8) gossips and broadcasts in the optimal ceil(log2 8) = 3
+    // full-duplex rounds; broadcast canonicalizes under the source
+    // stabilizer (order 6), gossip under the full group (order 48).
+    if (r.key.family == Family::kKnodel && r.key.D == 8) {
+      EXPECT_EQ(r.rounds, 3);
+      EXPECT_EQ(r.group, r.task == Task::kSolveGossip ? 48 : 6);
+    }
+    // W(3,6) is invalid (delta > floor(log2 6)): sentinel record.
+    if (r.key.family == Family::kKnodel && r.key.D == 6) {
+      EXPECT_EQ(r.n, 0);
+      EXPECT_EQ(r.rounds, -1);
+      EXPECT_EQ(r.states, -1);
+    }
+  }
+}
+
+TEST(Sweep, SolveTasksEmitSentinelForOversizedMembers) {
+  ScenarioSpec spec;
+  spec.families = {Family::kHypercube, Family::kKnodel};
+  spec.degrees = {3};
+  spec.dimensions = {4, 7};  // Q4 has n = 16 > 12; Knödel needs even n
+  spec.modes = {Mode::kHalfDuplex};
+  spec.tasks = {Task::kSolveBroadcast};
+  SweepRunner runner;
+  const auto records = runner.run(spec);
+  ASSERT_EQ(records.size(), 4u);
+  for (const auto& r : records) {
+    if (r.key.family == Family::kHypercube && r.key.D == 4) {
+      EXPECT_EQ(r.n, 16);       // sized in closed form, too large to solve
+      EXPECT_EQ(r.rounds, -1);
+      EXPECT_EQ(r.states, -1);
+      EXPECT_EQ(r.budget, -1);  // not a budget exhaustion
+    }
+    if (r.key.family == Family::kKnodel && r.key.D == 7) {
+      EXPECT_EQ(r.n, 0);        // construction rejected (odd n)
+      EXPECT_EQ(r.rounds, -1);
+    }
+    if (r.key.family == Family::kHypercube && r.key.D == 7) {
+      EXPECT_EQ(r.n, 128);
+      EXPECT_EQ(r.rounds, -1);
+    }
+    if (r.key.family == Family::kKnodel && r.key.D == 4) {
+      EXPECT_EQ(r.n, 0);        // W(3,4) invalid: delta > floor(log2 4)
+      EXPECT_EQ(r.rounds, -1);
+    }
+  }
+}
+
+TEST(Sweep, SolveSweepThreadedMatchesSerial) {
+  ScenarioSpec spec;
+  spec.families = {Family::kCycle};
+  spec.degrees = {2};
+  spec.dimensions = {4, 5, 6, 7, 8, 9};
+  spec.modes = {Mode::kFullDuplex, Mode::kHalfDuplex};
+  spec.tasks = {Task::kSolveGossip, Task::kSolveBroadcast};
+  // C7..C9 half-duplex exhaust this budget identically at every thread count.
+  spec.limits.solve_max_states = 500'000;
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepRunner serial_runner{serial};
+  const auto expected = serial_runner.run(spec);
+
+  SweepOptions threaded;
+  threaded.threads = 3;
+  SweepRunner threaded_runner{threaded};
+  const auto got = threaded_runner.run(spec);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_TRUE(same_result(got[i], expected[i])) << "record " << i;
+
+  // Inner solver parallelism must not change results either.
+  ScenarioSpec inner = spec;
+  inner.limits.solve_threads = 3;
+  SweepRunner inner_runner{serial};
+  const auto inner_records = inner_runner.run(inner);
+  ASSERT_EQ(inner_records.size(), expected.size());
+  for (std::size_t i = 0; i < inner_records.size(); ++i)
+    EXPECT_TRUE(same_result(inner_records[i], expected[i])) << "record " << i;
 }
 
 TEST(Sweep, RunCasesMatchesDirectSimulationAndAudit) {

@@ -39,7 +39,17 @@ std::vector<SweepRecord> sample_records() {
   sep.diameter = 6;
   sep.sep_distance = 6;
   sep.sep_min_size = 4;
-  return {bound, sim, sep};
+
+  SweepRecord solve;
+  solve.key = {Family::kCycle, 2, 9, Mode::kFullDuplex};
+  solve.task = Task::kSolveGossip;
+  solve.n = 9;
+  solve.rounds = 6;
+  solve.states = 5516;
+  solve.group = 18;
+  solve.budget = 0;
+  solve.millis = 12.5;
+  return {bound, sim, sep, solve};
 }
 
 void expect_same(const std::vector<SweepRecord>& a,

@@ -1,0 +1,79 @@
+#include "search/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/classic.hpp"
+
+namespace sysgo::search {
+namespace {
+
+using protocol::Mode;
+using protocol::Round;
+
+TEST(State, InitialAndGoal) {
+  const State init = initial_gossip_state(5);
+  const State goal = gossip_goal_state(5);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_EQ(init.rows[static_cast<std::size_t>(v)], 1u << v);
+    EXPECT_EQ(goal.rows[static_cast<std::size_t>(v)], 0b11111u);
+  }
+  for (int v = 5; v < kMaxVertices; ++v) {
+    EXPECT_EQ(init.rows[static_cast<std::size_t>(v)], 0u);
+    EXPECT_EQ(goal.rows[static_cast<std::size_t>(v)], 0u);
+  }
+  EXPECT_NE(init, goal);
+  EXPECT_FALSE(init.is_zero());
+  EXPECT_TRUE(State{}.is_zero());
+}
+
+TEST(State, OrderingIsLexicographicByRows) {
+  State a, b;
+  a.rows[0] = 1;
+  b.rows[0] = 2;
+  EXPECT_LT(a, b);
+  b.rows[0] = 1;
+  b.rows[3] = 7;
+  EXPECT_LT(a, b);
+}
+
+TEST(State, HalfDuplexApplyMergesIntoHeadOnly) {
+  const State init = initial_gossip_state(3);
+  Round r{{{0, 1}}};
+  const State next = apply_round(init, r, Mode::kHalfDuplex);
+  EXPECT_EQ(next.rows[0], 0b001u);  // tail unchanged
+  EXPECT_EQ(next.rows[1], 0b011u);  // head learned tail's item
+  EXPECT_EQ(next.rows[2], 0b100u);
+}
+
+TEST(State, FullDuplexApplyMergesBothWays) {
+  const State init = initial_gossip_state(3);
+  Round r{{{0, 1}, {1, 0}}};
+  const State next = apply_round(init, r, Mode::kFullDuplex);
+  EXPECT_EQ(next.rows[0], 0b011u);
+  EXPECT_EQ(next.rows[1], 0b011u);
+  EXPECT_EQ(next.rows[2], 0b100u);
+}
+
+TEST(State, ApplyRoundMaskSpreadsAlongArcs) {
+  Round r{{{0, 1}, {2, 3}}};
+  EXPECT_EQ(apply_round_mask(0b0001, r), 0b0011);
+  EXPECT_EQ(apply_round_mask(0b0100, r), 0b1100);
+  EXPECT_EQ(apply_round_mask(0b0010, r), 0b0010);  // 1 informed, arc is 0->1
+}
+
+TEST(State, HashDistinguishesNearbyStates) {
+  // Not a strict requirement, but collisions among trivially close states
+  // would cripple the open-addressing tables.
+  const State a = initial_gossip_state(8);
+  State b = a;
+  b.rows[7] ^= 1u;
+  State c = a;
+  c.rows[0] ^= 0x80u;
+  const StateHash h;
+  EXPECT_NE(h(a), h(b));
+  EXPECT_NE(h(a), h(c));
+  EXPECT_NE(h(b), h(c));
+}
+
+}  // namespace
+}  // namespace sysgo::search

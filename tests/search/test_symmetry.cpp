@@ -1,0 +1,132 @@
+#include "search/symmetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "search/state.hpp"
+#include "topology/classic.hpp"
+#include "topology/knodel.hpp"
+#include "util/rng.hpp"
+
+namespace sysgo::search {
+namespace {
+
+State permute_state(const State& s, const Perm& p, int n) {
+  State out;
+  for (int v = 0; v < n; ++v) {
+    std::uint16_t row = 0;
+    for (int u = 0; u < n; ++u)
+      if ((s.rows[static_cast<std::size_t>(v)] >> u) & 1u)
+        row = static_cast<std::uint16_t>(row | (1u << p[static_cast<std::size_t>(u)]));
+    out.rows[static_cast<std::size_t>(p[static_cast<std::size_t>(v)])] = row;
+  }
+  return out;
+}
+
+TEST(VertexClasses, PathEndsDifferFromMiddle) {
+  const auto color = vertex_classes(topology::path(4));
+  EXPECT_EQ(color[0], color[3]);  // ends
+  EXPECT_EQ(color[1], color[2]);  // middles
+  EXPECT_NE(color[0], color[1]);
+}
+
+TEST(VertexClasses, VertexTransitiveGraphIsOneClass) {
+  for (const auto& g : {topology::cycle(7), topology::hypercube(3),
+                        topology::complete(5)}) {
+    const auto color = vertex_classes(g);
+    EXPECT_EQ(*std::max_element(color.begin(), color.end()), 0);
+  }
+}
+
+TEST(Automorphisms, KnownGroupOrders) {
+  EXPECT_EQ(automorphisms(topology::path(4)).order(), 2u);        // reversal
+  EXPECT_EQ(automorphisms(topology::cycle(6)).order(), 12u);      // dihedral
+  EXPECT_EQ(automorphisms(topology::complete(4)).order(), 24u);   // S4
+  EXPECT_EQ(automorphisms(topology::hypercube(3)).order(), 48u);  // 2^3 * 3!
+  EXPECT_EQ(automorphisms(topology::knodel(3, 8)).order(), 48u);
+}
+
+TEST(Automorphisms, IdentityFirstAndAllValid) {
+  const auto g = topology::cycle(5);
+  const auto group = automorphisms(g);
+  ASSERT_FALSE(group.perms.empty());
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(group.perms[0][static_cast<std::size_t>(v)], v);
+  for (const Perm& p : group.perms)
+    for (const auto& a : g.arcs())
+      EXPECT_TRUE(g.has_arc(p[static_cast<std::size_t>(a.tail)],
+                            p[static_cast<std::size_t>(a.head)]));
+}
+
+TEST(Automorphisms, CapFallsBackToIdentityOnly) {
+  // |Aut(K6)| = 720 > 100: the enumeration must return the identity-only
+  // subgroup (a truncated non-closed set would merge distinct orbits).
+  const auto group = automorphisms(topology::complete(6), 100);
+  EXPECT_FALSE(group.complete);
+  EXPECT_EQ(group.order(), 1u);
+}
+
+TEST(Automorphisms, StabilizerFixesVertex) {
+  const auto group = automorphisms(topology::cycle(6));
+  const auto stab = vertex_stabilizer(group, 2);
+  EXPECT_EQ(stab.order(), 2u);  // identity + the reflection fixing 2
+  for (const Perm& p : stab.perms) EXPECT_EQ(p[2], 2);
+}
+
+TEST(Canonicalizer, OrbitInvariance) {
+  const auto g = topology::hypercube(3);
+  const auto group = automorphisms(g);
+  const Canonicalizer canon(8, group);
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    State s;
+    for (int v = 0; v < 8; ++v)
+      s.rows[static_cast<std::size_t>(v)] = static_cast<std::uint16_t>(
+          (rng.engine()() & 0xffu) | (1u << v));
+    const State c = canon.canonical(s);
+    // Canonical form is identical for every orbit element, and minimal.
+    for (std::size_t i = 0; i < group.order(); i += 7) {
+      const State t = permute_state(s, group.perms[i], 8);
+      EXPECT_EQ(canon.canonical(t), c);
+      EXPECT_LE(c, t);
+    }
+  }
+}
+
+TEST(Canonicalizer, ReportsAchievingPermutation) {
+  const auto g = topology::cycle(6);
+  const Canonicalizer canon(6, automorphisms(g));
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    State s;
+    for (int v = 0; v < 6; ++v)
+      s.rows[static_cast<std::size_t>(v)] = static_cast<std::uint16_t>(
+          (rng.engine()() & 0x3fu) | (1u << v));
+    std::size_t idx;
+    const State c = canon.canonical(s, &idx);
+    EXPECT_EQ(permute_state(s, canon.perm(idx), 6), c);
+  }
+}
+
+TEST(Canonicalizer, CanonicalMaskIsOrbitMinimum) {
+  const auto g = topology::cycle(4);
+  const auto group = automorphisms(g);  // dihedral, order 8
+  const Canonicalizer canon(4, group);
+  // Orbit of {1} under D4 contains {0}; minimum mask is 0b0001.
+  EXPECT_EQ(canon.canonical_mask(0b0010), 0b0001);
+  // Adjacent pair {1,2} maps to minimal adjacent pair {0,1}.
+  EXPECT_EQ(canon.canonical_mask(0b0110), 0b0011);
+  // Antipodal pair {0,2} is already minimal among {0,2},{1,3}.
+  EXPECT_EQ(canon.canonical_mask(0b1010), 0b0101);
+}
+
+TEST(Canonicalizer, GossipEndpointsAreFixedPoints) {
+  const auto g = topology::knodel(2, 6);
+  const Canonicalizer canon(6, automorphisms(g));
+  EXPECT_EQ(canon.canonical(initial_gossip_state(6)), initial_gossip_state(6));
+  EXPECT_EQ(canon.canonical(gossip_goal_state(6)), gossip_goal_state(6));
+}
+
+}  // namespace
+}  // namespace sysgo::search

@@ -30,6 +30,7 @@ std::int64_t expected_order(const SweepParam& p) {
     case Family::kDeBruijn: return de_bruijn_order(p.d, p.D);
     case Family::kKautzDirected:
     case Family::kKautz: return kautz_order(p.d, p.D);
+    default: break;  // classic testbed families: not part of this sweep
   }
   return -1;
 }

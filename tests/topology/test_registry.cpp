@@ -4,8 +4,10 @@
 
 #include "graph/search.hpp"
 #include "topology/butterfly.hpp"
+#include "topology/classic.hpp"
 #include "topology/de_bruijn.hpp"
 #include "topology/kautz.hpp"
+#include "topology/knodel.hpp"
 #include "topology/wrapped_butterfly.hpp"
 
 namespace sysgo::topology {
@@ -45,6 +47,35 @@ TEST(Registry, AllFamiliesStronglyConnected) {
     EXPECT_TRUE(graph::is_strongly_connected(make_family(f, 2, 3)))
         << family_name(f, 2);
   }
+}
+
+TEST(Registry, ClassicFamiliesMatchDirectConstructors) {
+  EXPECT_EQ(make_family(Family::kCycle, 2, 7).vertex_count(), 7);
+  EXPECT_EQ(make_family(Family::kComplete, 2, 5).arc_count(),
+            complete(5).arc_count());
+  EXPECT_EQ(make_family(Family::kHypercube, 2, 4).vertex_count(), 16);
+  EXPECT_EQ(make_family(Family::kCubeConnectedCycles, 2, 3).vertex_count(),
+            3 * 8);
+  EXPECT_EQ(make_family(Family::kShuffleExchange, 2, 3).vertex_count(), 8);
+  // For Knödel the dimension is the vertex count and d the Δ parameter.
+  EXPECT_EQ(make_family(Family::kKnodel, 3, 8).arc_count(),
+            knodel(3, 8).arc_count());
+}
+
+TEST(Registry, ClassicFamiliesAreSymmetricAndNamed) {
+  for (Family f : {Family::kCycle, Family::kComplete, Family::kHypercube,
+                   Family::kCubeConnectedCycles, Family::kShuffleExchange,
+                   Family::kKnodel}) {
+    EXPECT_TRUE(family_is_symmetric(f));
+    EXPECT_FALSE(family_has_separator_analysis(f));
+    EXPECT_FALSE(family_name(f, 2).empty());
+  }
+  for (Family f : {Family::kButterfly, Family::kDeBruijnDirected,
+                   Family::kKautz}) {
+    EXPECT_TRUE(family_has_separator_analysis(f));
+  }
+  EXPECT_EQ(family_name(Family::kKnodel, 3), "W(3,D)");
+  EXPECT_EQ(family_name(Family::kCubeConnectedCycles, 2), "CCC(D)");
 }
 
 }  // namespace

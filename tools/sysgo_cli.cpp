@@ -4,6 +4,7 @@
 //   sysgo table <fig4|fig5|fig6|fig8>     reproduce a paper table (CSV)
 //   sysgo sweep fig5|fig6                 engine-reproduced paper tables
 //   sysgo sweep [grid flags]              parallel scenario sweep (CSV/JSON)
+//   sysgo solve [grid flags]              exact gossip/broadcast optima
 //   sysgo audit <schedule-file>           certify a lower bound
 //   sysgo simulate <schedule-file> [max]  measured gossip time
 //   sysgo topology <name> <d> <D>         emit a network as sysgo-digraph
@@ -41,14 +42,23 @@ int usage() {
                "  sysgo sweep fig5|fig6\n"
                "  sysgo sweep [--families f1,f2,..] [--d 2,3] [--D lo:hi]\n"
                "              [--modes half,full] [--tasks bound,diameter,"
-               "simulate,audit,separator]\n"
+               "simulate,audit,separator,solve-gossip,solve-broadcast]\n"
                "              [--periods 3:8,inf] [--threads N] [--format "
                "csv|json] [--max-rounds M] [--no-cache]\n"
                "      families: bf wbf-dir wbf db-dir db kautz-dir kautz "
-               "(default: all, d=2, bound at s=3..8)\n"
+               "cycle complete hypercube ccc se knodel\n"
+               "      (default: the paper's seven, d=2, bound at s=3..8)\n"
+               "  sysgo solve [--families f1,..] [--d 2] [--D lo:hi] "
+               "[--modes half,full]\n"
+               "              [--problems gossip,broadcast] [--threads N] "
+               "[--solver-threads N]\n"
+               "              [--max-rounds M] [--max-states S] [--format "
+               "csv|json] [--no-cache]\n"
+               "      exact optima via the symmetry-reduced search (n <= 12;\n"
+               "      default: cycle, D=4:9, both modes, both problems)\n"
                "  sysgo audit <schedule-file>\n"
                "  sysgo simulate <schedule-file> [max-rounds]\n"
-               "  sysgo topology <bf|wbf|wbf-dir|db|db-dir|kautz|kautz-dir> <d> <D>\n");
+               "  sysgo topology <family> <d> <D>\n");
   return 2;
 }
 
@@ -145,6 +155,35 @@ class OrderedEmitter {
   std::size_t next_ = 0;
 };
 
+/// Expand, execute and stream a spec: CSV rows or JSON records flushed in
+/// deterministic order as jobs finish (identical output for any thread
+/// count), followed by a cache-stats line on stderr.
+int stream_spec(const sysgo::engine::ScenarioSpec& spec,
+                sysgo::engine::SweepOptions opts, bool json) {
+  namespace engine = sysgo::engine;
+  const auto jobs = spec.expand();
+  OrderedEmitter emitter;
+  if (json) {
+    std::fputs("[\n", stdout);
+    opts.on_record = [&](std::size_t i, const engine::SweepRecord& r) {
+      emitter.emit(i, "  " + sysgo::io::sweep_json_record(r) +
+                          (i + 1 < jobs.size() ? ",\n" : "\n"));
+    };
+  } else {
+    std::fputs(sysgo::io::sweep_csv_header().c_str(), stdout);
+    opts.on_record = [&](std::size_t i, const engine::SweepRecord& r) {
+      emitter.emit(i, sysgo::io::sweep_csv_row(r));
+    };
+  }
+  engine::SweepRunner runner(opts);
+  const auto records = runner.run_jobs(jobs, spec.limits);
+  if (json) std::fputs("]\n", stdout);
+  const auto stats = runner.cache_stats();
+  std::fprintf(stderr, "sweep: %zu records, cache %zu hits / %zu misses\n",
+               records.size(), stats.hits, stats.misses);
+  return 0;
+}
+
 int cmd_sweep(int argc, char** argv) {
   namespace engine = sysgo::engine;
   if (argc >= 1 && (std::strcmp(argv[0], "fig5") == 0 ||
@@ -205,8 +244,8 @@ int cmd_sweep(int argc, char** argv) {
         throw std::invalid_argument("--threads must be in [1, 256]");
       opts.threads = static_cast<unsigned>(threads);
     } else if (flag == "--max-rounds") {
-      spec.simulate_max_rounds = std::stoi(value());
-      if (spec.simulate_max_rounds < 1)
+      spec.limits.simulate_max_rounds = std::stoi(value());
+      if (spec.limits.simulate_max_rounds < 1)
         throw std::invalid_argument("--max-rounds must be >= 1");
     } else if (flag == "--format") {
       const std::string fmt = value();
@@ -234,27 +273,95 @@ int cmd_sweep(int argc, char** argv) {
                                     "' needs concrete dimensions: pass --D");
   }
 
-  const auto jobs = spec.expand();
-  OrderedEmitter emitter;
-  if (json) {
-    std::fputs("[\n", stdout);
-    opts.on_record = [&](std::size_t i, const engine::SweepRecord& r) {
-      emitter.emit(i, "  " + sysgo::io::sweep_json_record(r) +
-                          (i + 1 < jobs.size() ? ",\n" : "\n"));
+  return stream_spec(spec, opts, json);
+}
+
+int cmd_solve(int argc, char** argv) {
+  namespace engine = sysgo::engine;
+  engine::ScenarioSpec spec;
+  spec.families = {sysgo::topology::Family::kCycle};
+  spec.degrees = {2};
+  spec.dimensions = {4, 5, 6, 7, 8, 9};
+  spec.modes = {sysgo::protocol::Mode::kHalfDuplex,
+                sysgo::protocol::Mode::kFullDuplex};
+  spec.tasks = {engine::Task::kSolveGossip, engine::Task::kSolveBroadcast};
+  engine::SweepOptions opts;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("missing value for " + flag);
+      return argv[++i];
     };
-  } else {
-    std::fputs(sysgo::io::sweep_csv_header().c_str(), stdout);
-    opts.on_record = [&](std::size_t i, const engine::SweepRecord& r) {
-      emitter.emit(i, sysgo::io::sweep_csv_row(r));
-    };
+    try {
+      if (flag == "--families") {
+        spec.families.clear();
+        for (const auto& tok : split_list(value()))
+          spec.families.push_back(engine::parse_family_token(tok));
+      } else if (flag == "--d") {
+        spec.degrees = parse_int_list(value(), false);
+        for (int d : spec.degrees)
+          if (d < 1 || d > 64)  // d = 1 is a valid Knödel delta
+            throw std::invalid_argument("--d values must be in [1, 64]");
+      } else if (flag == "--D") {
+        spec.dimensions = parse_int_list(value(), false);
+        for (int D : spec.dimensions)
+          if (D < 1 || D > 30)
+            throw std::invalid_argument("--D values must be in [1, 30]");
+      } else if (flag == "--modes") {
+        spec.modes.clear();
+        for (const auto& tok : split_list(value()))
+          spec.modes.push_back(engine::parse_mode_name(tok));
+      } else if (flag == "--problems") {
+        spec.tasks.clear();
+        for (const auto& tok : split_list(value())) {
+          if (tok == "gossip") spec.tasks.push_back(engine::Task::kSolveGossip);
+          else if (tok == "broadcast")
+            spec.tasks.push_back(engine::Task::kSolveBroadcast);
+          else throw std::invalid_argument("unknown problem: " + tok);
+        }
+      } else if (flag == "--threads") {
+        const int threads = std::stoi(value());
+        if (threads < 1 || threads > 256)
+          throw std::invalid_argument("--threads must be in [1, 256]");
+        opts.threads = static_cast<unsigned>(threads);
+      } else if (flag == "--solver-threads") {
+        const int threads = std::stoi(value());
+        if (threads < 1 || threads > 256)
+          throw std::invalid_argument("--solver-threads must be in [1, 256]");
+        spec.limits.solve_threads = static_cast<unsigned>(threads);
+      } else if (flag == "--max-rounds") {
+        spec.limits.solve_max_rounds = std::stoi(value());
+        if (spec.limits.solve_max_rounds < 1)
+          throw std::invalid_argument("--max-rounds must be >= 1");
+      } else if (flag == "--max-states") {
+        const long long states = std::stoll(value());
+        if (states < 1)
+          throw std::invalid_argument("--max-states must be >= 1");
+        spec.limits.solve_max_states = static_cast<std::size_t>(states);
+      } else if (flag == "--format") {
+        const std::string fmt = value();
+        if (fmt == "json") json = true;
+        else if (fmt != "csv")
+          throw std::invalid_argument("unknown format: " + fmt);
+      } else if (flag == "--no-cache") {
+        opts.use_cache = false;
+      } else {
+        std::fprintf(stderr, "unknown solve flag: %s\n", flag.c_str());
+        return usage();
+      }
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      if (what.find(flag) == std::string::npos)
+        throw std::invalid_argument("bad value for " + flag + ": " + what);
+      throw;
+    }
   }
-  engine::SweepRunner runner(opts);
-  const auto records = runner.run_jobs(jobs, spec.simulate_max_rounds);
-  if (json) std::fputs("]\n", stdout);
-  const auto stats = runner.cache_stats();
-  std::fprintf(stderr, "sweep: %zu records, cache %zu hits / %zu misses\n",
-               records.size(), stats.hits, stats.misses);
-  return 0;
+  if (spec.dimensions.empty())
+    throw std::invalid_argument("solve needs concrete dimensions: pass --D");
+
+  return stream_spec(spec, opts, json);
 }
 
 int cmd_audit(int argc, char** argv) {
@@ -288,19 +395,14 @@ int cmd_simulate(int argc, char** argv) {
 
 int cmd_topology(int argc, char** argv) {
   if (argc < 3) return usage();
-  const std::string name = argv[0];
   const int d = std::atoi(argv[1]);
   const int D = std::atoi(argv[2]);
-  using sysgo::topology::Family;
-  Family f;
-  if (name == "bf") f = Family::kButterfly;
-  else if (name == "wbf") f = Family::kWrappedButterfly;
-  else if (name == "wbf-dir") f = Family::kWrappedButterflyDirected;
-  else if (name == "db") f = Family::kDeBruijn;
-  else if (name == "db-dir") f = Family::kDeBruijnDirected;
-  else if (name == "kautz") f = Family::kKautz;
-  else if (name == "kautz-dir") f = Family::kKautzDirected;
-  else return usage();
+  sysgo::topology::Family f;
+  try {
+    f = sysgo::engine::parse_family_token(argv[0]);
+  } catch (const std::invalid_argument&) {
+    return usage();
+  }
   const auto g = sysgo::topology::make_family(f, d, D);
   std::fputs(sysgo::io::serialize(g).c_str(), stdout);
   return 0;
@@ -315,6 +417,7 @@ int main(int argc, char** argv) {
     if (cmd == "bound") return cmd_bound(argc - 2, argv + 2);
     if (cmd == "table") return cmd_table(argc - 2, argv + 2);
     if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
+    if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "topology") return cmd_topology(argc - 2, argv + 2);
