@@ -1,0 +1,136 @@
+// Legacy vs compiled simulation throughput — the tentpole measurement of
+// the compiled-schedule IR.
+//
+// Corpus: the paper's fig5/fig6 families (edge-coloring schedules at d = 2,
+// half-duplex for the fig5 reading, full-duplex for fig6/fig8) plus the
+// large-D de Bruijn and Kautz members the sweep engine grinds through.
+// Each member is simulated to gossip completion along both paths:
+//
+//   legacy    gossip_time(SystolicSchedule)   round_at() + arc-vector walk
+//   compiled  gossip_time(CompiledSchedule)   flat CSR spans + role gather
+//
+// plus the one-off compile cost, so the break-even point (a handful of
+// simulated rounds) is visible.  Run: build with -DSYSGO_BENCH=ON and
+// `./bench_simulate_throughput`.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "protocol/builders.hpp"
+#include "protocol/compiled.hpp"
+#include "protocol/systolic.hpp"
+#include "simulator/gossip_sim.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using sysgo::protocol::CompiledSchedule;
+using sysgo::protocol::Mode;
+using sysgo::protocol::SystolicSchedule;
+using sysgo::topology::Family;
+
+struct Member {
+  std::string name;
+  SystolicSchedule schedule;
+};
+
+const std::vector<Member>& corpus() {
+  static const std::vector<Member>* kCorpus = [] {
+    auto* c = new std::vector<Member>;
+    const std::vector<std::tuple<std::string, Family, int, int, Mode>> specs = {
+        // fig5 reading: half-duplex, all seven families.
+        {"fig5/bf(2,4)", Family::kButterfly, 2, 4, Mode::kHalfDuplex},
+        {"fig5/wbf-dir(2,4)", Family::kWrappedButterflyDirected, 2, 4,
+         Mode::kHalfDuplex},
+        {"fig5/wbf(2,4)", Family::kWrappedButterfly, 2, 4, Mode::kHalfDuplex},
+        {"fig5/db-dir(2,6)", Family::kDeBruijnDirected, 2, 6, Mode::kHalfDuplex},
+        {"fig5/db(2,6)", Family::kDeBruijn, 2, 6, Mode::kHalfDuplex},
+        {"fig5/kautz-dir(2,5)", Family::kKautzDirected, 2, 5, Mode::kHalfDuplex},
+        {"fig5/kautz(2,5)", Family::kKautz, 2, 5, Mode::kHalfDuplex},
+        // fig6/fig8 reading: full-duplex.
+        {"fig6/db(2,6)", Family::kDeBruijn, 2, 6, Mode::kFullDuplex},
+        {"fig6/kautz(2,5)", Family::kKautz, 2, 5, Mode::kFullDuplex},
+        // Large-D members: the sweep engine's heavy simulate jobs.
+        {"large/db(2,9)", Family::kDeBruijn, 2, 9, Mode::kHalfDuplex},
+        {"large/db(2,10)", Family::kDeBruijn, 2, 10, Mode::kHalfDuplex},
+        {"large/kautz(2,8)", Family::kKautz, 2, 8, Mode::kHalfDuplex},
+        {"large/kautz(2,9)", Family::kKautz, 2, 9, Mode::kHalfDuplex},
+    };
+    for (const auto& [name, f, d, D, mode] : specs) {
+      const auto g = sysgo::topology::make_family(f, d, D);
+      c->push_back({name, sysgo::protocol::edge_coloring_schedule(g, mode)});
+    }
+    return c;
+  }();
+  return *kCorpus;
+}
+
+void BM_SimulateLegacy(benchmark::State& state, const Member& m) {
+  for (auto _ : state) {
+    const int t = sysgo::simulator::gossip_time(m.schedule, 1 << 20);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * m.schedule.n);
+}
+
+void BM_SimulateCompiled(benchmark::State& state, const Member& m) {
+  const auto cs = CompiledSchedule::compile(m.schedule);
+  for (auto _ : state) {
+    const int t = sysgo::simulator::gossip_time(cs, 1 << 20);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * m.schedule.n);
+}
+
+void BM_Compile(benchmark::State& state, const Member& m) {
+  for (auto _ : state) {
+    const auto cs = CompiledSchedule::compile(m.schedule);
+    benchmark::DoNotOptimize(cs.arc_total());
+  }
+}
+
+// The audit is the other sweep task on the compiled path.  The schedule
+// entry point compiles on every call (what a consumer without a cached
+// CompiledSchedule pays); the compiled entry point is the engine's path —
+// activities derived once, reused across the whole λ bisection.
+void BM_AuditPerCallCompile(benchmark::State& state, const Member& m) {
+  for (auto _ : state) {
+    const auto res = sysgo::core::audit_schedule(m.schedule);
+    benchmark::DoNotOptimize(res.round_lower_bound);
+  }
+}
+
+void BM_AuditCompiled(benchmark::State& state, const Member& m) {
+  const auto cs = CompiledSchedule::compile(m.schedule);
+  for (auto _ : state) {
+    const auto res = sysgo::core::audit_schedule(cs);
+    benchmark::DoNotOptimize(res.round_lower_bound);
+  }
+}
+
+const bool kRegistered = [] {
+  for (const Member& m : corpus()) {
+    benchmark::RegisterBenchmark(("simulate/legacy/" + m.name).c_str(),
+                                 BM_SimulateLegacy, m)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("simulate/compiled/" + m.name).c_str(),
+                                 BM_SimulateCompiled, m)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("compile/" + m.name).c_str(), BM_Compile, m)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("audit/recompile-per-call/" + m.name).c_str(),
+                                 BM_AuditPerCallCompile, m)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("audit/compiled/" + m.name).c_str(),
+                                 BM_AuditCompiled, m)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  return true;
+}();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "protocol/compiled.hpp"
 #include "protocol/systolic.hpp"
 
 namespace sysgo::analysis {
@@ -23,12 +24,19 @@ struct VertexGapRow {
 
 /// Per-vertex exact-vs-analytic local norms at the given λ, over a window
 /// of `periods` schedule periods.  Rows are sorted by descending analytic
-/// bound (the certificate's binding vertices first).
+/// bound (the certificate's binding vertices first).  The compiled overload
+/// reads activations off the per-round role tables and requires a periodic
+/// schedule (the window spans `periods` repetitions); the schedule overload
+/// compiles once and delegates.
+[[nodiscard]] std::vector<VertexGapRow> audit_gap_report(
+    const protocol::CompiledSchedule& cs, double lambda, int periods = 4);
 [[nodiscard]] std::vector<VertexGapRow> audit_gap_report(
     const protocol::SystolicSchedule& sched, double lambda, int periods = 4);
 
 /// The exact local norm of one vertex over the window (0 when the vertex
 /// never relays).
+[[nodiscard]] double exact_local_norm(const protocol::CompiledSchedule& cs,
+                                      int vertex, double lambda, int periods = 4);
 [[nodiscard]] double exact_local_norm(const protocol::SystolicSchedule& sched,
                                       int vertex, double lambda, int periods = 4);
 

@@ -2,38 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
+#include <string>
 
 #include "linalg/polynomial.hpp"
 #include "linalg/roots.hpp"
 
 namespace sysgo::core {
 
-std::vector<VertexActivity> vertex_activities(const protocol::SystolicSchedule& sched) {
-  std::vector<VertexActivity> acts(static_cast<std::size_t>(sched.n));
-  const int s = sched.period_length();
-  // Track, per vertex, which period rounds have in/out/any activations.
-  std::vector<std::vector<char>> has_in(static_cast<std::size_t>(sched.n)),
-      has_out(static_cast<std::size_t>(sched.n));
-  for (auto& v : has_in) v.assign(static_cast<std::size_t>(s), 0);
-  for (auto& v : has_out) v.assign(static_cast<std::size_t>(s), 0);
-  for (int r = 0; r < s; ++r)
-    for (const auto& a : sched.period[static_cast<std::size_t>(r)].arcs) {
-      has_out[static_cast<std::size_t>(a.tail)][static_cast<std::size_t>(r)] = 1;
-      has_in[static_cast<std::size_t>(a.head)][static_cast<std::size_t>(r)] = 1;
-    }
-  for (int v = 0; v < sched.n; ++v) {
-    auto& act = acts[static_cast<std::size_t>(v)];
-    for (int r = 0; r < s; ++r) {
-      const bool in = has_in[static_cast<std::size_t>(v)][static_cast<std::size_t>(r)];
-      const bool out =
-          has_out[static_cast<std::size_t>(v)][static_cast<std::size_t>(r)];
-      act.left_rounds += in ? 1 : 0;
-      act.right_rounds += out ? 1 : 0;
-      if (in || out) act.active_rounds.push_back(r);
+std::vector<VertexActivity> vertex_activities(
+    const protocol::CompiledSchedule& cs) {
+  using protocol::RoundRole;
+  std::vector<VertexActivity> acts(static_cast<std::size_t>(cs.n()));
+  for (int r = 0; r < cs.round_count(); ++r) {
+    const auto roles = cs.roles(r);
+    for (int v = 0; v < cs.n(); ++v) {
+      const RoundRole role = roles[static_cast<std::size_t>(v)];
+      if (role == RoundRole::kIdle) continue;
+      auto& act = acts[static_cast<std::size_t>(v)];
+      if (role != RoundRole::kSend) ++act.left_rounds;      // receive/exchange
+      if (role != RoundRole::kReceive) ++act.right_rounds;  // send/exchange
+      act.active_rounds.push_back(r);
     }
   }
   return acts;
+}
+
+std::vector<VertexActivity> vertex_activities(
+    const protocol::SystolicSchedule& sched) {
+  return vertex_activities(protocol::CompiledSchedule::compile(sched));
 }
 
 namespace {
@@ -70,6 +68,19 @@ double full_duplex_vertex_bound(const VertexActivity& act, int s, double lambda)
   return std::sqrt(max_row * max_col);
 }
 
+// Max over vertices of the per-vertex bound, from precomputed activities —
+// the shared core of the audit entry points, evaluated once per λ without
+// re-walking the schedule.
+double norm_bound_from_activities(std::span<const VertexActivity> acts, int s,
+                                  double lambda, protocol::Mode mode) {
+  if (!(lambda > 0.0 && lambda < 1.0))
+    throw std::invalid_argument("audit_norm_bound: need 0 < lambda < 1");
+  double worst = 0.0;
+  for (const auto& act : acts)
+    worst = std::max(worst, vertex_norm_bound(act, s, lambda, mode));
+  return worst;
+}
+
 }  // namespace
 
 double vertex_norm_bound(const VertexActivity& activity, int s, double lambda,
@@ -79,25 +90,30 @@ double vertex_norm_bound(const VertexActivity& activity, int s, double lambda,
              : half_duplex_vertex_bound(activity, lambda);
 }
 
-double audit_norm_bound(const protocol::SystolicSchedule& sched, double lambda) {
-  if (!(lambda > 0.0 && lambda < 1.0))
-    throw std::invalid_argument("audit_norm_bound: need 0 < lambda < 1");
-  const auto acts = vertex_activities(sched);
-  const int s = sched.period_length();
-  double worst = 0.0;
-  for (const auto& act : acts)
-    worst = std::max(worst, vertex_norm_bound(act, s, lambda, sched.mode));
-  return worst;
+double audit_norm_bound(const protocol::CompiledSchedule& cs, double lambda) {
+  // The audit's period reading is only meaningful for periodic schedules;
+  // a compiled finite protocol (possibly empty) must not masquerade as one.
+  cs.require_periodic("audit_norm_bound");
+  return norm_bound_from_activities(vertex_activities(cs), cs.period_length(),
+                                    lambda, cs.mode());
 }
 
-AuditResult audit_schedule(const protocol::SystolicSchedule& sched) {
-  if (sched.period.empty())
-    throw std::invalid_argument("audit_schedule: empty period");
+double audit_norm_bound(const protocol::SystolicSchedule& sched, double lambda) {
+  return audit_norm_bound(protocol::CompiledSchedule::compile(sched), lambda);
+}
+
+AuditResult audit_schedule(const protocol::CompiledSchedule& cs) {
+  cs.require_periodic("audit_schedule");
   AuditResult res;
+  const auto acts = vertex_activities(cs);
+  const int s = cs.period_length();
+  const protocol::Mode mode = cs.mode();
 
   constexpr double kLoLambda = 1e-9;
   constexpr double kHiLambda = 1.0 - 1e-9;
-  const auto f = [&sched](double lam) { return audit_norm_bound(sched, lam) - 1.0; };
+  const auto f = [&](double lam) {
+    return norm_bound_from_activities(acts, s, lam, mode) - 1.0;
+  };
 
   if (f(kHiLambda) <= 0.0) {
     // Norm bound below 1 even as λ -> 1: the schedule has no relaying
@@ -108,14 +124,12 @@ AuditResult audit_schedule(const protocol::SystolicSchedule& sched) {
     res.lambda_star = root.x;
   }
   res.e_coeff = e_coefficient(res.lambda_star);
-  res.round_lower_bound = theorem41_round_bound(res.lambda_star, sched.n);
+  res.round_lower_bound = theorem41_round_bound(res.lambda_star, cs.n());
 
   // Identify the vertex attaining the bound at λ*.
-  const auto acts = vertex_activities(sched);
-  const int s = sched.period_length();
   double worst = -1.0;
   for (std::size_t v = 0; v < acts.size(); ++v) {
-    const double b = vertex_norm_bound(acts[v], s, res.lambda_star, sched.mode);
+    const double b = vertex_norm_bound(acts[v], s, res.lambda_star, mode);
     if (b > worst) {
       worst = b;
       res.worst_vertex = static_cast<int>(v);
@@ -124,12 +138,21 @@ AuditResult audit_schedule(const protocol::SystolicSchedule& sched) {
   return res;
 }
 
+AuditResult audit_schedule(const protocol::SystolicSchedule& sched) {
+  if (sched.period.empty())
+    throw std::invalid_argument("audit_schedule: empty period");
+  return audit_schedule(protocol::CompiledSchedule::compile(sched));
+}
+
 SeparatorAuditResult audit_schedule_with_separator(
-    const protocol::SystolicSchedule& sched, int distance, std::size_t min_size) {
+    const protocol::CompiledSchedule& cs, int distance, std::size_t min_size) {
+  cs.require_periodic("audit_schedule_with_separator");
   if (distance < 1 || min_size == 0)
     throw std::invalid_argument(
         "audit_schedule_with_separator: need distance >= 1, min_size >= 1");
 
+  const auto acts = vertex_activities(cs);
+  const int s = cs.period_length();
   const double log_c = std::log2(static_cast<double>(min_size));
 
   // For a fixed λ with F = audit_norm_bound(λ) <= 1, find the smallest t
@@ -137,7 +160,7 @@ SeparatorAuditResult audit_schedule_with_separator(
   //   t·log2(1/λ) + log2(t - distance + 2) + log2(t)
   //     >= log_c + (distance - 1)·log2(1/F).
   const auto certified = [&](double lambda) {
-    const double f = audit_norm_bound(sched, lambda);
+    const double f = norm_bound_from_activities(acts, s, lambda, cs.mode());
     // f > 1: λ not certified.  f == 0: no vertex relays, so no finite
     // certificate applies (gossip across distance >= 2 is impossible anyway).
     if (f > 1.0 || f <= 0.0) return 0;
@@ -168,6 +191,12 @@ SeparatorAuditResult audit_schedule_with_separator(
     }
   }
   return best;
+}
+
+SeparatorAuditResult audit_schedule_with_separator(
+    const protocol::SystolicSchedule& sched, int distance, std::size_t min_size) {
+  return audit_schedule_with_separator(protocol::CompiledSchedule::compile(sched),
+                                       distance, min_size);
 }
 
 }  // namespace sysgo::core

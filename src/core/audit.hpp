@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/bounds.hpp"
+#include "protocol/compiled.hpp"
 #include "protocol/systolic.hpp"
 
 namespace sysgo::core {
@@ -29,7 +30,13 @@ struct VertexActivity {
   std::vector<int> active_rounds;  // full-duplex: rounds with any activation
 };
 
-/// Summaries for every vertex of a schedule's period.
+/// Summaries for every vertex of a compiled period, read straight off the
+/// per-round role tables.
+[[nodiscard]] std::vector<VertexActivity> vertex_activities(
+    const protocol::CompiledSchedule& cs);
+
+/// Summaries for every vertex of a schedule's period (compiles once, which
+/// validates the schedule, then reads the tables).
 [[nodiscard]] std::vector<VertexActivity> vertex_activities(
     const protocol::SystolicSchedule& sched);
 
@@ -40,8 +47,12 @@ struct VertexActivity {
                                        double lambda, protocol::Mode mode);
 
 /// Certified upper bound on ‖M(λ)‖ for this schedule (max over vertices of
-/// the per-vertex local-norm bound).  Increasing in λ.
+/// the per-vertex local-norm bound).  Increasing in λ.  The schedule
+/// overload compiles per call — in a λ loop, compile once and use the
+/// compiled overload.
 [[nodiscard]] double audit_norm_bound(const protocol::SystolicSchedule& sched,
+                                      double lambda);
+[[nodiscard]] double audit_norm_bound(const protocol::CompiledSchedule& cs,
                                       double lambda);
 
 struct AuditResult {
@@ -52,7 +63,12 @@ struct AuditResult {
 };
 
 /// Run the audit.  The bound holds for *any* execution length of this
-/// schedule that achieves gossip on an n-vertex network.
+/// schedule that achieves gossip on an n-vertex network.  The compiled
+/// overload derives the activity summaries once and reuses them across the
+/// whole λ bisection, and requires a periodic compiled schedule (as do the
+/// other compiled audit entry points); the schedule overload compiles
+/// first.
+[[nodiscard]] AuditResult audit_schedule(const protocol::CompiledSchedule& cs);
 [[nodiscard]] AuditResult audit_schedule(const protocol::SystolicSchedule& sched);
 
 /// Theorem 5.1 applied to a concrete schedule and a concrete separator:
@@ -69,6 +85,8 @@ struct SeparatorAuditResult {
   double lambda = 0.0;
   int round_lower_bound = 0;
 };
+[[nodiscard]] SeparatorAuditResult audit_schedule_with_separator(
+    const protocol::CompiledSchedule& cs, int distance, std::size_t min_size);
 [[nodiscard]] SeparatorAuditResult audit_schedule_with_separator(
     const protocol::SystolicSchedule& sched, int distance, std::size_t min_size);
 

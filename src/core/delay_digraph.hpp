@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "protocol/compiled.hpp"
 #include "protocol/protocol.hpp"
 #include "protocol/systolic.hpp"
 
@@ -41,6 +42,11 @@ class DelayDigraph {
   /// s = period length.
   DelayDigraph(const protocol::SystolicSchedule& sched, int t);
 
+  /// Build the first t rounds of a compiled periodic schedule directly from
+  /// its flat arc spans — no intermediate Protocol is materialized.
+  /// Activations appear in canonical (per-round sorted) arc order.
+  DelayDigraph(const protocol::CompiledSchedule& cs, int t);
+
   [[nodiscard]] int period() const noexcept { return s_; }
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   [[nodiscard]] std::size_t arc_count() const noexcept { return arcs_.size(); }
@@ -60,6 +66,8 @@ class DelayDigraph {
 
  private:
   void build(const protocol::Protocol& p);
+  /// Wire the delay arcs between the already-collected activation nodes.
+  void link(int n);
 
   int s_ = 0;
   std::vector<Activation> nodes_;

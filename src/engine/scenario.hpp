@@ -65,8 +65,13 @@ struct SweepJob {
 /// Per-task execution limits shared by every job of a run.  solve_threads
 /// is the INNER solver parallelism (jobs already run concurrently on the
 /// runner's pool; solver results are thread-count independent either way).
+/// simulate_parallel_rounds turns on the simulator's within-round parallel
+/// merges (GossipOptions::parallel) — a toggle, not a degree: the merges
+/// run on the process-wide pool at its lane count, and results are
+/// identical either way.
 struct ExecutionLimits {
   int simulate_max_rounds = 1 << 20;
+  bool simulate_parallel_rounds = false;
   int solve_max_rounds = 64;
   std::size_t solve_max_states = 20'000'000;
   unsigned solve_threads = 1;

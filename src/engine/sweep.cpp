@@ -94,6 +94,15 @@ std::shared_ptr<const ScenarioArtifacts> SweepRunner::artifacts(
     auto art = std::make_shared<ScenarioArtifacts>();
     art->graph = topology::make_family(key.family, key.d, key.D);
     art->schedule = protocol::edge_coloring_schedule(art->graph, key.mode);
+    // The one structural validation of this scenario's schedule; every
+    // task below executes the pre-validated flat form.  The coloring
+    // schedule is built on the member's undirected support, so for the
+    // directed families its half-duplex backward rounds activate reversals
+    // absent from the digraph — membership is only checkable against
+    // symmetric members.
+    const bool check_membership = art->graph.is_symmetric();
+    art->compiled = protocol::CompiledSchedule::compile(
+        art->schedule, check_membership ? &art->graph : nullptr);
     return std::shared_ptr<const ScenarioArtifacts>(std::move(art));
   };
   if (!opts_.use_cache) return build();
@@ -137,16 +146,19 @@ SweepRecord SweepRunner::run_job(const SweepJob& job,
     }
     case Task::kSimulate: {
       const auto art = artifacts(job.key);
-      r.n = art->schedule.n;
-      r.s = art->schedule.period_length();
-      r.rounds = simulator::gossip_time(art->schedule, limits.simulate_max_rounds);
+      r.n = art->compiled.n();
+      r.s = art->compiled.period_length();
+      simulator::GossipOptions gopts;
+      gopts.parallel = limits.simulate_parallel_rounds;
+      r.rounds = simulator::gossip_time(art->compiled,
+                                        limits.simulate_max_rounds, gopts);
       break;
     }
     case Task::kAudit: {
       const auto art = artifacts(job.key);
-      r.n = art->schedule.n;
-      r.s = art->schedule.period_length();
-      const auto audit = core::audit_schedule(art->schedule);
+      r.n = art->compiled.n();
+      r.s = art->compiled.period_length();
+      const auto audit = core::audit_schedule(art->compiled);
       r.lambda = audit.lambda_star;
       r.e = audit.e_coeff;
       r.rounds = audit.round_lower_bound;
@@ -239,9 +251,11 @@ std::vector<CaseRecord> run_cases(const std::vector<ScheduleCase>& cases,
                              r.name = c.name;
                              r.n = c.schedule.n;
                              r.s = c.schedule.period_length();
+                             const auto compiled =
+                                 protocol::CompiledSchedule::compile(c.schedule);
                              r.measured =
-                                 simulator::gossip_time(c.schedule, c.max_rounds);
-                             r.audit = core::audit_schedule(c.schedule);
+                                 simulator::gossip_time(compiled, c.max_rounds);
+                             r.audit = core::audit_schedule(compiled);
                              r.millis = millis_since(t0);
                            });
   return records;

@@ -18,6 +18,7 @@
 #include "core/audit.hpp"
 #include "engine/scenario.hpp"
 #include "graph/digraph.hpp"
+#include "protocol/compiled.hpp"
 #include "protocol/systolic.hpp"
 
 namespace sysgo::util {
@@ -26,10 +27,13 @@ class ThreadPool;
 
 namespace sysgo::engine {
 
-/// Artifacts shared by every task of one scenario key.
+/// Artifacts shared by every task of one scenario key.  The schedule is
+/// compiled (and thereby validated against the member digraph) exactly once
+/// per scenario; simulate and audit both execute the compiled form.
 struct ScenarioArtifacts {
   graph::Digraph graph;
   protocol::SystolicSchedule schedule;  // edge-coloring schedule in key.mode
+  protocol::CompiledSchedule compiled;  // flat execution form of `schedule`
 };
 
 /// Build-once cache of scenario artifacts, safe for concurrent lookups.

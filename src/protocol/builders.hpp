@@ -16,6 +16,11 @@ namespace sysgo::protocol {
 /// Periodic schedule from a greedy proper edge coloring of g's undirected
 /// support.  Half-duplex: period = 2 · #colors (each color forward then
 /// backward).  Full-duplex: period = #colors.
+///
+/// Because the coloring runs on the undirected support, schedules for
+/// non-symmetric digraphs activate reversed arcs that g itself lacks (the
+/// backward rounds / the opposite full-duplex directions); validate or
+/// compile such schedules without a graph, or against the support.
 [[nodiscard]] SystolicSchedule edge_coloring_schedule(const graph::Digraph& g,
                                                       Mode mode);
 

@@ -13,6 +13,8 @@ Protocol SystolicSchedule::expand(int t) const {
 
 ValidationResult validate_structure(const SystolicSchedule& s,
                                     const graph::Digraph* g) {
+  if (s.period.empty())
+    return {false, "schedule period is empty (no rounds to repeat)"};
   Protocol one_period;
   one_period.n = s.n;
   one_period.mode = s.mode;

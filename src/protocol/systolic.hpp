@@ -3,6 +3,8 @@
 // unit; expand() turns them into a finite Protocol.
 #pragma once
 
+#include <stdexcept>
+
 #include "protocol/protocol.hpp"
 
 namespace sysgo::protocol {
@@ -16,8 +18,11 @@ struct SystolicSchedule {
     return static_cast<int>(period.size());
   }
 
-  /// The round active at (1-based) time step i.
+  /// The round active at (1-based) time step i.  An empty period has no
+  /// rounds to cycle through (i % 0 would be UB): fail loudly.
   [[nodiscard]] const Round& round_at(int i) const {
+    if (period.empty())
+      throw std::logic_error("SystolicSchedule::round_at: empty period");
     return period[static_cast<std::size_t>((i - 1) % period_length())];
   }
 

@@ -13,8 +13,11 @@
 
 #include "analysis/optimal.hpp"
 #include "graph/search.hpp"
+#include "protocol/compiled.hpp"
 #include "search/state_set.hpp"
 #include "search/symmetry.hpp"
+#include "simulator/broadcast_sim.hpp"
+#include "simulator/gossip_sim.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sysgo::search {
@@ -517,6 +520,35 @@ SolveResult solve(const graph::Digraph& g, const SolveOptions& opts) {
     gossip_bfs(moves, opts.mode, canon, n, opts, res);
   }
   return res;
+}
+
+bool witness_valid(const graph::Digraph& g, const SolveOptions& opts,
+                   const SolveResult& res) {
+  if (res.rounds < 0 ||
+      static_cast<int>(res.witness.size()) != res.rounds)
+    return false;
+  protocol::Protocol p;
+  p.n = g.vertex_count();
+  p.mode = opts.mode;
+  p.rounds = res.witness;
+  protocol::CompiledSchedule cs;
+  try {
+    cs = protocol::CompiledSchedule::compile(p, &g);
+  } catch (const std::invalid_argument&) {
+    return false;  // not matchings of the right mode / arcs outside g
+  }
+  if (opts.problem == Problem::kGossip) {
+    const auto run = simulator::run_gossip(cs);
+    return run.complete && run.completion_round == res.rounds;
+  }
+  if (opts.source < 0 || opts.source >= g.vertex_count()) return false;
+  const auto reach = simulator::broadcast_reach(cs, opts.source);
+  int worst = 0;
+  for (int t : reach) {
+    if (t < 0) return false;
+    worst = std::max(worst, t);
+  }
+  return worst == res.rounds;
 }
 
 }  // namespace sysgo::search

@@ -96,4 +96,15 @@ struct SolveResult {
 [[nodiscard]] SolveResult solve(const graph::Digraph& g,
                                 const SolveOptions& opts = {});
 
+/// Check a recorded witness through the shared compiled execution path: the
+/// witness must have exactly res.rounds rounds, compile against g (every
+/// round a matching in opts.mode, every arc present in the network), and
+/// its compiled execution must achieve the problem's goal in exactly
+/// res.rounds rounds (gossip: all-pairs completion; broadcast: opts.source's
+/// item everywhere).  False when any of that fails or no witness was
+/// recorded.
+[[nodiscard]] bool witness_valid(const graph::Digraph& g,
+                                 const SolveOptions& opts,
+                                 const SolveResult& res);
+
 }  // namespace sysgo::search

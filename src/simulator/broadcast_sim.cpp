@@ -1,60 +1,78 @@
 #include "simulator/broadcast_sim.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "simulator/gossip_sim.hpp"
 
 namespace sysgo::simulator {
 namespace {
 
-// Single-item propagation: informed set evolves round by round.
-// Pre-round snapshot semantics: heads are collected against the state at
-// the beginning of the round, then marked, so a vertex informed this round
+// One single-item propagation step over a round's arc span.  Pre-round
+// snapshot semantics: heads are collected against the state at the
+// beginning of the round, then marked, so a vertex informed this round
 // does not forward within the same round.  Works for both duplex modes
 // (full-duplex pairs are two opposite arcs evaluated independently).
-std::vector<int> reach_times(int n, const std::vector<const protocol::Round*>& rounds,
-                             int src) {
-  std::vector<int> reach(static_cast<std::size_t>(n), -1);
-  reach[static_cast<std::size_t>(src)] = 0;
-  int round_no = 0;
-  for (const auto* round : rounds) {
-    ++round_no;
-    std::vector<int> newly;
-    for (const auto& a : round->arcs) {
-      if (reach[static_cast<std::size_t>(a.tail)] != -1 &&
-          reach[static_cast<std::size_t>(a.head)] == -1)
-        newly.push_back(a.head);
-    }
-    for (int v : newly) reach[static_cast<std::size_t>(v)] = round_no;
+// Returns how many vertices the round informed.
+int step_reach(std::span<const sysgo::graph::Arc> arcs, std::vector<int>& reach,
+               std::vector<int>& newly, int round_no) {
+  newly.clear();
+  for (const auto& a : arcs) {
+    if (reach[static_cast<std::size_t>(a.tail)] != -1 &&
+        reach[static_cast<std::size_t>(a.head)] == -1)
+      newly.push_back(a.head);
   }
-  return reach;
+  for (int v : newly) reach[static_cast<std::size_t>(v)] = round_no;
+  return static_cast<int>(newly.size());
 }
 
 }  // namespace
 
 std::vector<int> broadcast_reach(const protocol::Protocol& p, int src) {
-  std::vector<const protocol::Round*> rounds;
-  rounds.reserve(p.rounds.size());
-  for (const auto& r : p.rounds) rounds.push_back(&r);
-  return reach_times(p.n, rounds, src);
+  std::vector<int> reach(static_cast<std::size_t>(p.n), -1);
+  reach[static_cast<std::size_t>(src)] = 0;
+  std::vector<int> newly;
+  int round_no = 0;
+  for (const auto& r : p.rounds) step_reach(r.arcs, reach, newly, ++round_no);
+  return reach;
+}
+
+std::vector<int> broadcast_reach(const protocol::CompiledSchedule& cs, int src) {
+  cs.require_finite("broadcast_reach");  // periodic goes through broadcast_time
+  std::vector<int> reach(static_cast<std::size_t>(cs.n()), -1);
+  reach[static_cast<std::size_t>(src)] = 0;
+  std::vector<int> newly;
+  for (int r = 0; r < cs.round_count(); ++r)
+    step_reach(cs.round_arcs(r), reach, newly, r + 1);
+  return reach;
 }
 
 int broadcast_time(const protocol::SystolicSchedule& sched, int src, int max_rounds) {
   std::vector<int> reach(static_cast<std::size_t>(sched.n), -1);
   reach[static_cast<std::size_t>(src)] = 0;
   int informed = 1;
+  if (informed == sched.n) return 0;  // n == 1: consistent with gossip_time
+  std::vector<int> newly;
   for (int i = 1; i <= max_rounds; ++i) {
-    const auto& round = sched.round_at(i);
-    // Pre-round snapshot: collect heads first, then mark, so a vertex
-    // informed this round does not forward within the same round.
-    std::vector<int> newly;
-    for (const auto& a : round.arcs)
-      if (reach[static_cast<std::size_t>(a.tail)] != -1 &&
-          reach[static_cast<std::size_t>(a.head)] == -1)
-        newly.push_back(a.head);
-    for (int v : newly) reach[static_cast<std::size_t>(v)] = i;
-    informed += static_cast<int>(newly.size());
+    informed += step_reach(sched.round_at(i).arcs, reach, newly, i);
     if (informed == sched.n) return i;
+  }
+  return -1;
+}
+
+int broadcast_time(const protocol::CompiledSchedule& cs, int src, int max_rounds) {
+  std::vector<int> reach(static_cast<std::size_t>(cs.n()), -1);
+  reach[static_cast<std::size_t>(src)] = 0;
+  int informed = 1;
+  if (informed == cs.n()) return 0;  // n == 1: consistent with gossip_time
+  const int rounds = cs.round_count();
+  if (!cs.periodic() && max_rounds > rounds) max_rounds = rounds;
+  std::vector<int> newly;
+  int r = 0;
+  for (int i = 1; i <= max_rounds; ++i) {
+    informed += step_reach(cs.round_arcs(r), reach, newly, i);
+    if (informed == cs.n()) return i;
+    if (++r == rounds) r = 0;
   }
   return -1;
 }

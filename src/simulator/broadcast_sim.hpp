@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "protocol/compiled.hpp"
 #include "protocol/protocol.hpp"
 #include "protocol/systolic.hpp"
 
@@ -14,8 +15,20 @@ namespace sysgo::simulator {
 /// -1 when the item never arrives within the protocol).
 [[nodiscard]] std::vector<int> broadcast_reach(const protocol::Protocol& p, int src);
 
+/// Compiled execution over a finite protocol's flat arc spans, one pass
+/// through.  Result-identical to the protocol overload.  Throws
+/// std::invalid_argument for a periodic compiled schedule (use
+/// broadcast_time).
+[[nodiscard]] std::vector<int> broadcast_reach(const protocol::CompiledSchedule& cs,
+                                               int src);
+
 /// Rounds until src's item reaches every vertex under the schedule, or -1.
 [[nodiscard]] int broadcast_time(const protocol::SystolicSchedule& sched, int src,
+                                 int max_rounds);
+
+/// Compiled execution: periodic schedules wrap, finite protocols stop at
+/// round_count().
+[[nodiscard]] int broadcast_time(const protocol::CompiledSchedule& cs, int src,
                                  int max_rounds);
 
 /// Definition 3.1 condition 2 checked exhaustively by simulation: every

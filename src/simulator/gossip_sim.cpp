@@ -1,5 +1,7 @@
 #include "simulator/gossip_sim.hpp"
 
+#include <stdexcept>
+
 #include "util/parallel.hpp"
 
 namespace sysgo::simulator {
@@ -34,6 +36,36 @@ void apply_round(KnowledgeMatrix& know, const protocol::Round& round,
   }
 }
 
+void apply_round(KnowledgeMatrix& know, const protocol::CompiledSchedule& cs,
+                 int r, bool parallel) {
+  // The work list is one flat span, so the whole round is a single batch
+  // call (disjoint sub-spans for the parallel blocks: a matching's merges
+  // are independent).
+  if (cs.mode() == protocol::Mode::kFullDuplex) {
+    const auto pairs = cs.round_pairs(r);
+    if (parallel)
+      util::parallel_for_blocks(
+          0, pairs.size(),
+          [&](std::size_t lo, std::size_t hi) {
+            know.merge_pairs(pairs.subspan(lo, hi - lo));
+          },
+          512);
+    else
+      know.merge_pairs(pairs);
+  } else {
+    const auto arcs = cs.round_arcs(r);
+    if (parallel)
+      util::parallel_for_blocks(
+          0, arcs.size(),
+          [&](std::size_t lo, std::size_t hi) {
+            know.merge_arcs(arcs.subspan(lo, hi - lo));
+          },
+          512);
+    else
+      know.merge_arcs(arcs);
+  }
+}
+
 namespace {
 
 GossipResult finish(const KnowledgeMatrix& know, bool complete, int executed,
@@ -48,38 +80,61 @@ GossipResult finish(const KnowledgeMatrix& know, bool complete, int executed,
   return res;
 }
 
-}  // namespace
-
-GossipResult run_gossip(const protocol::Protocol& p, const GossipOptions& opts) {
-  KnowledgeMatrix know(p.n);
+// The one finite gossip loop both run_gossip overloads share: apply(know, r)
+// executes 0-based round r, arcs_of(r) yields its arcs for completion
+// tracking (only endpoints of a round's arcs can change state).
+template <typename Apply, typename ArcsOf>
+GossipResult run_gossip_loop(int n, int round_total, const GossipOptions& opts,
+                             Apply&& apply, ArcsOf&& arcs_of) {
+  KnowledgeMatrix know(n);
   std::vector<int> vertex_completion;
-  if (opts.track_completion) vertex_completion.assign(static_cast<std::size_t>(p.n), -1);
-
-  int incomplete = 0;
-  for (int v = 0; v < p.n; ++v)
-    if (!know.row_full(v)) ++incomplete;
-  if (opts.track_completion)
-    for (int v = 0; v < p.n; ++v)
+  if (opts.track_completion) {
+    vertex_completion.assign(static_cast<std::size_t>(n), -1);
+    for (int v = 0; v < n; ++v)
       if (know.row_full(v)) vertex_completion[static_cast<std::size_t>(v)] = 0;
+  }
 
   int round_no = 0;
-  for (const auto& round : p.rounds) {
+  for (int r = 0; r < round_total; ++r) {
     ++round_no;
-    apply_round(know, round, p.mode, opts.parallel);
-    // Only endpoints of this round's arcs can change state.
-    for (const auto& a : round.arcs) {
-      for (int v : {a.tail, a.head}) {
-        if (opts.track_completion &&
-            vertex_completion[static_cast<std::size_t>(v)] == -1 &&
-            know.row_full(v))
-          vertex_completion[static_cast<std::size_t>(v)] = round_no;
-      }
+    apply(know, r);
+    if (opts.track_completion) {
+      for (const auto& a : arcs_of(r))
+        for (int v : {a.tail, a.head})
+          if (vertex_completion[static_cast<std::size_t>(v)] == -1 &&
+              know.row_full(v))
+            vertex_completion[static_cast<std::size_t>(v)] = round_no;
     }
     if (know.all_full())
       return finish(know, true, round_no, round_no, std::move(vertex_completion));
   }
   return finish(know, know.all_full(), round_no, round_no,
                 std::move(vertex_completion));
+}
+
+}  // namespace
+
+GossipResult run_gossip(const protocol::Protocol& p, const GossipOptions& opts) {
+  return run_gossip_loop(
+      p.n, p.length(), opts,
+      [&](KnowledgeMatrix& know, int r) {
+        apply_round(know, p.rounds[static_cast<std::size_t>(r)], p.mode,
+                    opts.parallel);
+      },
+      [&](int r) -> const std::vector<protocol::Arc>& {
+        return p.rounds[static_cast<std::size_t>(r)].arcs;
+      });
+}
+
+GossipResult run_gossip(const protocol::CompiledSchedule& cs,
+                        const GossipOptions& opts) {
+  cs.require_finite("run_gossip");  // periodic schedules go through gossip_time
+  return run_gossip_loop(
+      cs.n(), cs.round_count(), opts,
+      [&](KnowledgeMatrix& know, int r) {
+        apply_round(know, cs, r, opts.parallel);
+      },
+      [&](int r) { return cs.round_arcs(r); });
 }
 
 int gossip_time(const protocol::SystolicSchedule& sched, int max_rounds,
@@ -89,6 +144,21 @@ int gossip_time(const protocol::SystolicSchedule& sched, int max_rounds,
   for (int i = 1; i <= max_rounds; ++i) {
     apply_round(know, sched.round_at(i), sched.mode, opts.parallel);
     if (know.all_full()) return i;
+  }
+  return -1;
+}
+
+int gossip_time(const protocol::CompiledSchedule& cs, int max_rounds,
+                const GossipOptions& opts) {
+  KnowledgeMatrix know(cs.n());
+  if (know.all_full()) return 0;  // n == 1
+  const int rounds = cs.round_count();
+  if (!cs.periodic() && max_rounds > rounds) max_rounds = rounds;
+  int r = 0;
+  for (int i = 1; i <= max_rounds; ++i) {
+    apply_round(know, cs, r, opts.parallel);
+    if (know.all_full()) return i;
+    if (++r == rounds) r = 0;
   }
   return -1;
 }

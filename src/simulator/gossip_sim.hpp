@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "protocol/compiled.hpp"
 #include "protocol/protocol.hpp"
 #include "protocol/systolic.hpp"
 #include "simulator/knowledge.hpp"
@@ -36,13 +37,32 @@ struct GossipResult {
 void apply_round(KnowledgeMatrix& know, const protocol::Round& round,
                  protocol::Mode mode, bool parallel = false);
 
+/// Apply stored round r of a compiled schedule: a branch-light walk of the
+/// round's flat spans — half-duplex merges along the contiguous arc span,
+/// full-duplex along the tail < head pair list (no per-pair direction
+/// filtering, no per-round heap hop).
+void apply_round(KnowledgeMatrix& know, const protocol::CompiledSchedule& cs,
+                 int r, bool parallel = false);
+
 /// Run a finite protocol to its end (or early-exit once complete).
 [[nodiscard]] GossipResult run_gossip(const protocol::Protocol& p,
+                                      const GossipOptions& opts = {});
+
+/// Compiled execution of a finite protocol's rounds, once through.
+/// Result-identical to run_gossip on the source protocol.  Throws
+/// std::invalid_argument for a periodic compiled schedule (one period is
+/// not a run; use gossip_time).
+[[nodiscard]] GossipResult run_gossip(const protocol::CompiledSchedule& cs,
                                       const GossipOptions& opts = {});
 
 /// Run a systolic schedule until gossip completes or max_rounds elapse.
 /// Returns the completion round (gossip time), or -1 when incomplete.
 [[nodiscard]] int gossip_time(const protocol::SystolicSchedule& sched,
+                              int max_rounds, const GossipOptions& opts = {});
+
+/// Compiled execution: periodic schedules wrap their stored rounds, finite
+/// protocols stop at round_count().  Result-identical to the legacy path.
+[[nodiscard]] int gossip_time(const protocol::CompiledSchedule& cs,
                               int max_rounds, const GossipOptions& opts = {});
 
 }  // namespace sysgo::simulator

@@ -64,4 +64,28 @@ void KnowledgeMatrix::merge_both(int a, int b) noexcept {
   bump(b, added_b);
 }
 
+void KnowledgeMatrix::merge_arcs(std::span<const graph::Arc> arcs) noexcept {
+  for (const graph::Arc& a : arcs) {
+    // A full head row can gain nothing; its tail row is never written
+    // within a matching round, so the count read is stable.
+    if (counts_[static_cast<std::size_t>(a.head)] == n_) continue;
+    merge_into(a.head, a.tail);
+  }
+}
+
+void KnowledgeMatrix::merge_pairs(std::span<const graph::Arc> pairs) noexcept {
+  for (const graph::Arc& p : pairs) {
+    const bool a_full = counts_[static_cast<std::size_t>(p.tail)] == n_;
+    const bool b_full = counts_[static_cast<std::size_t>(p.head)] == n_;
+    if (a_full && b_full) continue;
+    if (a_full) {
+      merge_into(p.head, p.tail);
+    } else if (b_full) {
+      merge_into(p.tail, p.head);
+    } else {
+      merge_both(p.tail, p.head);
+    }
+  }
+}
+
 }  // namespace sysgo::simulator

@@ -15,6 +15,8 @@
 #include <span>
 #include <vector>
 
+#include "graph/digraph.hpp"
+
 namespace sysgo::simulator {
 
 class KnowledgeMatrix {
@@ -34,6 +36,16 @@ class KnowledgeMatrix {
 
   /// Symmetric merge: both rows become their union (full-duplex exchange).
   void merge_both(int a, int b) noexcept;
+
+  /// Batch form of merge_into over a compiled round's flat arc span
+  /// (tail -> head per arc): one call per round, already-full destination
+  /// rows skipped without touching their words.  Within one matching the
+  /// merges are independent, so disjoint sub-spans may run concurrently.
+  void merge_arcs(std::span<const graph::Arc> arcs) noexcept;
+
+  /// Batch form of merge_both over a round's tail < head pair list;
+  /// pairs whose rows are both full are skipped.
+  void merge_pairs(std::span<const graph::Arc> pairs) noexcept;
 
   /// Number of items vertex v knows.  O(1).
   [[nodiscard]] int count(int v) const noexcept {

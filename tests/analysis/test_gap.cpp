@@ -77,6 +77,26 @@ TEST(Gap, BindingVertexMatchesAudit) {
   EXPECT_NEAR(rows.front().analytic_bound, 1.0, 1e-6);
 }
 
+TEST(Gap, CompiledOverloadsMatchScheduleOverloads) {
+  for (Mode mode : {Mode::kHalfDuplex, Mode::kFullDuplex}) {
+    const auto sched = protocol::cycle_schedule(6, mode);
+    const auto cs = protocol::CompiledSchedule::compile(sched);
+    for (int v = 0; v < sched.n; ++v)
+      EXPECT_DOUBLE_EQ(exact_local_norm(cs, v, 0.5),
+                       exact_local_norm(sched, v, 0.5));
+    const auto a = audit_gap_report(cs, 0.5);
+    const auto b = audit_gap_report(sched, 0.5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].vertex, b[i].vertex);
+      EXPECT_EQ(a[i].left_rounds, b[i].left_rounds);
+      EXPECT_EQ(a[i].right_rounds, b[i].right_rounds);
+      EXPECT_DOUBLE_EQ(a[i].exact_norm, b[i].exact_norm);
+      EXPECT_DOUBLE_EQ(a[i].analytic_bound, b[i].analytic_bound);
+    }
+  }
+}
+
 TEST(Gap, RejectsBadLambda) {
   const auto sched = protocol::path_schedule(4, Mode::kHalfDuplex);
   EXPECT_THROW((void)exact_local_norm(sched, 0, 0.0), std::invalid_argument);

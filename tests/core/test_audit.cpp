@@ -127,6 +127,21 @@ TEST(Audit, EmptyPeriodRejected) {
   EXPECT_THROW((void)audit_schedule(sched), std::invalid_argument);
 }
 
+TEST(Audit, CompiledEntryPointsRejectFiniteProtocols) {
+  // A finite protocol's length is not a period; auditing one (including a
+  // zero-round protocol, which would certify nonsense) must fail loudly.
+  protocol::Protocol p;
+  p.n = 4;
+  const auto empty = protocol::CompiledSchedule::compile(p);
+  EXPECT_THROW((void)audit_schedule(empty), std::invalid_argument);
+  p.rounds = {{{{0, 1}}}, {{{1, 2}}}};
+  const auto finite = protocol::CompiledSchedule::compile(p);
+  EXPECT_THROW((void)audit_schedule(finite), std::invalid_argument);
+  EXPECT_THROW((void)audit_norm_bound(finite, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)audit_schedule_with_separator(finite, 2, 2),
+               std::invalid_argument);
+}
+
 TEST(Audit, NonRelayingScheduleDegenerates) {
   // One-directional star: center receives but never sends onward items
   // can't relay -> norm bound ~0, certificate weak but well-defined.
@@ -136,6 +151,38 @@ TEST(Audit, NonRelayingScheduleDegenerates) {
   sched.period = {{{{1, 0}}}, {{{2, 0}}}};  // only inbound to 0
   const auto res = audit_schedule(sched);
   EXPECT_GT(res.lambda_star, 0.9);  // norm below 1 for all λ
+}
+
+// The audit must be a pure function of the compiled representation:
+// compiled and schedule entry points agree bit-for-bit, and activities
+// derived from the role tables equal the legacy arc-walk summaries.
+TEST(Audit, CompiledEntryPointsMatchScheduleEntryPoints) {
+  const std::vector<protocol::SystolicSchedule> corpus = {
+      protocol::path_schedule(6, Mode::kHalfDuplex),
+      protocol::edge_coloring_schedule(topology::de_bruijn(2, 4),
+                                       Mode::kHalfDuplex),
+      protocol::hypercube_schedule(4, Mode::kFullDuplex),
+  };
+  for (const auto& sched : corpus) {
+    const auto cs = protocol::CompiledSchedule::compile(sched);
+    const auto acts = vertex_activities(cs);
+    const auto legacy_acts = vertex_activities(sched);
+    ASSERT_EQ(acts.size(), legacy_acts.size());
+    for (std::size_t v = 0; v < acts.size(); ++v) {
+      EXPECT_EQ(acts[v].left_rounds, legacy_acts[v].left_rounds);
+      EXPECT_EQ(acts[v].right_rounds, legacy_acts[v].right_rounds);
+      EXPECT_EQ(acts[v].active_rounds, legacy_acts[v].active_rounds);
+    }
+    for (double lambda : {0.3, 0.6, 0.9})
+      EXPECT_DOUBLE_EQ(audit_norm_bound(cs, lambda),
+                       audit_norm_bound(sched, lambda));
+    const auto a = audit_schedule(cs);
+    const auto b = audit_schedule(sched);
+    EXPECT_DOUBLE_EQ(a.lambda_star, b.lambda_star);
+    EXPECT_DOUBLE_EQ(a.e_coeff, b.e_coeff);
+    EXPECT_EQ(a.round_lower_bound, b.round_lower_bound);
+    EXPECT_EQ(a.worst_vertex, b.worst_vertex);
+  }
 }
 
 TEST(Audit, AuditNormBoundRejectsBadLambda) {

@@ -112,6 +112,24 @@ TEST(DelayDigraph, ScheduleConstructorMatchesManual) {
   EXPECT_EQ(dg1.arc_count(), dg2.arc_count());
 }
 
+TEST(DelayDigraph, CompiledConstructorMatchesExpandedProtocol) {
+  const auto sched = protocol::path_schedule(5, Mode::kHalfDuplex);
+  const auto cs = protocol::CompiledSchedule::compile(sched);
+  const int t = 3 * sched.period_length();
+  const DelayDigraph via_protocol(sched, t);
+  const DelayDigraph via_compiled(cs, t);
+  EXPECT_EQ(via_compiled.period(), via_protocol.period());
+  ASSERT_EQ(via_compiled.node_count(), via_protocol.node_count());
+  ASSERT_EQ(via_compiled.arc_count(), via_protocol.arc_count());
+  for (std::size_t i = 0; i < via_compiled.node_count(); ++i)
+    EXPECT_TRUE(via_compiled.nodes()[i] == via_protocol.nodes()[i]) << i;
+  for (std::size_t i = 0; i < via_compiled.arc_count(); ++i) {
+    EXPECT_EQ(via_compiled.arcs()[i].from, via_protocol.arcs()[i].from);
+    EXPECT_EQ(via_compiled.arcs()[i].to, via_protocol.arcs()[i].to);
+    EXPECT_EQ(via_compiled.arcs()[i].weight, via_protocol.arcs()[i].weight);
+  }
+}
+
 TEST(DelayDigraph, RejectsTinyPeriod) {
   EXPECT_THROW(DelayDigraph(p3_protocol(4), 1), std::invalid_argument);
 }

@@ -81,10 +81,11 @@ TEST(DelayMatrix, GeometricSeriesDominatedByDistanceTerm) {
 TEST(DelayMatrix, NormBelowAuditBound) {
   // The exact delay-matrix norm is certified by the audit's analytic bound.
   const auto sched = protocol::path_schedule(6, Mode::kHalfDuplex);
-  const auto dg = DelayDigraph(sched, 4 * sched.period_length());
+  const auto compiled = protocol::CompiledSchedule::compile(sched);
+  const auto dg = DelayDigraph(compiled, 4 * compiled.period_length());
   for (double lam : {0.4, 0.55, 0.7}) {
     const double exact = delay_matrix_norm(dg, lam);
-    const double bound = audit_norm_bound(sched, lam);
+    const double bound = audit_norm_bound(compiled, lam);
     EXPECT_LE(exact, bound + 1e-9) << "lam=" << lam;
   }
 }

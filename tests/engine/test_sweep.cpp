@@ -109,6 +109,28 @@ TEST(Sweep, ThreadedMatchesSerialAcrossAllFamilies) {
   }
 }
 
+// Satellite: GossipOptions::parallel surfaced through ExecutionLimits —
+// within-round threaded merges must reproduce the serial records exactly
+// over the fig5 corpus (the paper's seven families).
+TEST(Sweep, RoundThreadsProduceSameSimulateRecords) {
+  ScenarioSpec spec;
+  spec.families = all_families();
+  spec.degrees = {2};
+  spec.dimensions = {3, 4, 5, 6};
+  spec.tasks = {Task::kSimulate, Task::kAudit};
+
+  SweepRunner serial_runner;
+  const auto expected = serial_runner.run(spec);
+
+  ScenarioSpec threaded = spec;
+  threaded.limits.simulate_parallel_rounds = true;
+  SweepRunner threaded_runner;
+  const auto got = threaded_runner.run(threaded);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_TRUE(same_result(got[i], expected[i])) << "record " << i;
+}
+
 TEST(Sweep, OnRecordSeesEveryIndexOnce) {
   std::set<std::size_t> seen;
   std::mutex m;

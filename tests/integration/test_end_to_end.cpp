@@ -40,16 +40,18 @@ TEST(EndToEnd, DeBruijnPipeline) {
   EXPECT_GT(audit.round_lower_bound, 0);
   EXPECT_LE(audit.round_lower_bound, measured);
 
-  // 5. Norm chain at a few λ values over a 3-period window.
-  const core::DelayDigraph dg(sched, 3 * sched.period_length());
+  // 5. Norm chain at a few λ values over a 3-period window, off one
+  // compiled form.
+  const auto compiled = protocol::CompiledSchedule::compile(sched);
+  const core::DelayDigraph dg(compiled, 3 * compiled.period_length());
   for (double lam : {0.35, 0.5}) {
     const double exact = core::delay_matrix_norm(dg, lam);
-    const double audit_bound = core::audit_norm_bound(sched, lam);
+    const double audit_bound = core::audit_norm_bound(compiled, lam);
     EXPECT_LE(exact, audit_bound + 1e-9) << "lam=" << lam;
   }
 
   // 6. At the certified λ*, the audit bound is exactly 1.
-  EXPECT_NEAR(core::audit_norm_bound(sched, audit.lambda_star), 1.0, 1e-6);
+  EXPECT_NEAR(core::audit_norm_bound(compiled, audit.lambda_star), 1.0, 1e-6);
 }
 
 TEST(EndToEnd, TruncatedProtocolFailsGossipButKeepsStructure) {

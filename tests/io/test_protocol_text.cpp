@@ -2,9 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
 #include "protocol/builders.hpp"
 #include "protocol/classic_protocols.hpp"
+#include "protocol/compiled.hpp"
+#include "protocol/knodel_protocols.hpp"
+#include "protocol/tree_protocols.hpp"
+#include "protocol/wbf_protocols.hpp"
 #include "topology/classic.hpp"
+#include "topology/topology.hpp"
 #include "util/rng.hpp"
 
 namespace sysgo::io {
@@ -117,6 +127,58 @@ TEST(ProtocolText, FuzzedInputsNeverCrash) {
     } catch (const std::exception&) {
       // Rejected: fine.
     }
+  }
+}
+
+// Round-trip property over every builder-produced schedule: for all
+// registered families (edge-coloring construction) and the dedicated
+// schedule builders, in both duplex modes, parse(serialize(s)) compiles to
+// a CompiledSchedule identical to compile(s) — the text format loses
+// nothing the executors consume.
+TEST(ProtocolText, BuilderSchedulesRoundTripToIdenticalCompiledSchedule) {
+  using protocol::CompiledSchedule;
+  using protocol::SystolicSchedule;
+  using topology::Family;
+
+  std::vector<std::pair<std::string, SystolicSchedule>> corpus;
+  // One small member of every registered family, edge-coloring schedule.
+  const std::vector<std::tuple<Family, int, int>> members = {
+      {Family::kButterfly, 2, 3},   {Family::kWrappedButterflyDirected, 2, 3},
+      {Family::kWrappedButterfly, 2, 3}, {Family::kDeBruijnDirected, 2, 4},
+      {Family::kDeBruijn, 2, 4},    {Family::kKautzDirected, 2, 3},
+      {Family::kKautz, 2, 3},       {Family::kCycle, 2, 7},
+      {Family::kComplete, 2, 5},    {Family::kHypercube, 2, 3},
+      {Family::kCubeConnectedCycles, 2, 3}, {Family::kShuffleExchange, 2, 3},
+      {Family::kKnodel, 3, 8},
+  };
+  for (protocol::Mode mode : {protocol::Mode::kHalfDuplex,
+                              protocol::Mode::kFullDuplex}) {
+    const std::string suffix =
+        mode == protocol::Mode::kHalfDuplex ? " half" : " full";
+    for (const auto& [f, d, D] : members) {
+      const auto g = topology::make_family(f, d, D);
+      corpus.emplace_back(topology::family_name(f, d) + suffix,
+                          protocol::edge_coloring_schedule(g, mode));
+    }
+    // The dedicated schedule builders.
+    corpus.emplace_back("path" + suffix, protocol::path_schedule(6, mode));
+    corpus.emplace_back("cycle" + suffix, protocol::cycle_schedule(6, mode));
+    corpus.emplace_back("grid" + suffix, protocol::grid_schedule(3, 4, mode));
+    corpus.emplace_back("hypercube" + suffix,
+                        protocol::hypercube_schedule(3, mode));
+    corpus.emplace_back("complete" + suffix,
+                        protocol::complete_power2_schedule(8, mode));
+    corpus.emplace_back("knodel" + suffix, protocol::knodel_schedule(3, 8, mode));
+    corpus.emplace_back("tree" + suffix, protocol::tree_schedule(2, 3, mode));
+    corpus.emplace_back("wbf" + suffix, protocol::wbf_schedule(2, 3, mode));
+  }
+  corpus.emplace_back("wbf-dir", protocol::wbf_directed_schedule(2, 3));
+
+  for (const auto& [name, sched] : corpus) {
+    const auto parsed = parse_schedule(serialize(sched));
+    EXPECT_TRUE(CompiledSchedule::compile(parsed) ==
+                CompiledSchedule::compile(sched))
+        << name;
   }
 }
 

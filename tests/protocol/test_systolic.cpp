@@ -38,6 +38,19 @@ TEST(Systolic, ExpandZeroRounds) {
   EXPECT_EQ(p.length(), 0);
 }
 
+// Regression: round_at used to compute (i - 1) % 0 on an empty period —
+// UB.  Empty periods now fail loudly everywhere.
+TEST(Systolic, EmptyPeriodFailsLoudly) {
+  SystolicSchedule s;
+  s.n = 3;
+  EXPECT_THROW((void)s.round_at(1), std::logic_error);
+  EXPECT_THROW((void)s.expand(5), std::logic_error);
+  EXPECT_EQ(s.expand(0).length(), 0);  // nothing to materialize: fine
+  const auto res = validate_structure(s);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.message.find("empty"), std::string::npos);
+}
+
 TEST(Systolic, ValidationDelegates) {
   auto s = two_round_schedule();
   EXPECT_TRUE(validate_structure(s).ok);

@@ -194,13 +194,14 @@ TEST(Solver, GossipWitnessIsValidAndOptimal) {
       opts.want_witness = true;
       const auto res = solve(g, opts);
       ASSERT_GT(res.rounds, 0);
-      protocol::Protocol p;
-      p.n = n;
-      p.mode = m;
-      p.rounds = res.witness;
-      EXPECT_TRUE(protocol::validate_structure(p, &g).ok);
-      EXPECT_TRUE(simulator::achieves_gossip(p));
-      EXPECT_EQ(p.length(), res.rounds);
+      // The compiled execution path re-validates structure (matchings in
+      // the right mode, arcs of g) and replays the witness exactly.
+      EXPECT_TRUE(witness_valid(g, opts, res));
+
+      // A corrupted witness must be rejected: drop the last round.
+      SolveResult broken = res;
+      broken.witness.pop_back();
+      EXPECT_FALSE(witness_valid(g, opts, broken));
     }
   }
 }
@@ -214,13 +215,12 @@ TEST(Solver, BroadcastWitnessReachesEveryone) {
   opts.want_witness = true;
   const auto res = solve(g, opts);
   ASSERT_EQ(res.rounds, 3);
-  protocol::Protocol p;
-  p.n = 8;
-  p.mode = Mode::kHalfDuplex;
-  p.rounds = res.witness;
-  EXPECT_TRUE(protocol::validate_structure(p, &g).ok);
-  const auto reach = simulator::broadcast_reach(p, 0);
-  for (int v = 0; v < 8; ++v) EXPECT_GE(reach[static_cast<std::size_t>(v)], 0);
+  EXPECT_TRUE(witness_valid(g, opts, res));
+
+  // Emptying the final round leaves some vertex uninformed: rejected.
+  SolveResult idle = res;
+  idle.witness.back().arcs.clear();
+  EXPECT_FALSE(witness_valid(g, opts, idle));
 }
 
 TEST(Solver, RootLowerBoundNeverExceedsOptimum) {

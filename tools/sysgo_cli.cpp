@@ -43,11 +43,17 @@ int usage() {
                "  sysgo sweep [--families f1,f2,..] [--d 2,3] [--D lo:hi]\n"
                "              [--modes half,full] [--tasks bound,diameter,"
                "simulate,audit,separator,solve-gossip,solve-broadcast]\n"
-               "              [--periods 3:8,inf] [--threads N] [--format "
-               "csv|json] [--max-rounds M] [--no-cache]\n"
+               "              [--periods 3:8,inf] [--threads N] "
+               "[--round-threads N]\n"
+               "              [--format csv|json] [--max-rounds M] "
+               "[--no-cache]\n"
                "      families: bf wbf-dir wbf db-dir db kautz-dir kautz "
                "cycle complete hypercube ccc se knodel\n"
-               "      (default: the paper's seven, d=2, bound at s=3..8)\n"
+               "      (default: the paper's seven, d=2, bound at s=3..8;\n"
+               "       --round-threads N>1 enables within-round parallel "
+               "merges\n"
+               "       on the process-wide pool — results are identical "
+               "for any N)\n"
                "  sysgo solve [--families f1,..] [--d 2] [--D lo:hi] "
                "[--modes half,full]\n"
                "              [--problems gossip,broadcast] [--threads N] "
@@ -243,6 +249,15 @@ int cmd_sweep(int argc, char** argv) {
       if (threads < 1 || threads > 256)
         throw std::invalid_argument("--threads must be in [1, 256]");
       opts.threads = static_cast<unsigned>(threads);
+    } else if (flag == "--round-threads") {
+      // A toggle, not a degree: any N > 1 turns on the simulator's
+      // within-round parallel merges, which run on the process-wide pool
+      // at its lane count (results are identical for any value; see
+      // ExecutionLimits::simulate_parallel_rounds).
+      const int threads = std::stoi(value());
+      if (threads < 1 || threads > 256)
+        throw std::invalid_argument("--round-threads must be in [1, 256]");
+      spec.limits.simulate_parallel_rounds = threads > 1;
     } else if (flag == "--max-rounds") {
       spec.limits.simulate_max_rounds = std::stoi(value());
       if (spec.limits.simulate_max_rounds < 1)
