@@ -67,6 +67,32 @@ TEST(BroadcastSim, BroadcastTimeUnreachable) {
   EXPECT_EQ(broadcast_time(sched, 0, 50), -1);
 }
 
+TEST(BroadcastSim, CompiledMatchesLegacyBroadcast) {
+  const std::vector<protocol::SystolicSchedule> corpus = {
+      protocol::path_schedule(7, Mode::kHalfDuplex),
+      protocol::hypercube_schedule(4, Mode::kFullDuplex),
+      protocol::cycle_schedule(6, Mode::kFullDuplex),
+  };
+  for (const auto& sched : corpus) {
+    const auto cs = protocol::CompiledSchedule::compile(sched);
+    for (int src = 0; src < sched.n; ++src) {
+      EXPECT_EQ(broadcast_time(cs, src, 500), broadcast_time(sched, src, 500));
+      const int t = broadcast_time(sched, src, 500);
+      ASSERT_GT(t, 0);
+      const auto p = sched.expand(t);
+      EXPECT_EQ(broadcast_reach(protocol::CompiledSchedule::compile(p), src),
+                broadcast_reach(p, src));
+    }
+  }
+}
+
+TEST(BroadcastSim, CompiledReachRejectsPeriodicSchedules) {
+  const auto sched = protocol::path_schedule(4, Mode::kHalfDuplex);
+  EXPECT_THROW(
+      (void)broadcast_reach(protocol::CompiledSchedule::compile(sched), 0),
+      std::invalid_argument);
+}
+
 TEST(BroadcastSim, AchievesGossipMatchesRunGossip) {
   const auto good = protocol::hypercube_schedule(3, Mode::kFullDuplex).expand(3);
   EXPECT_TRUE(achieves_gossip(good));

@@ -116,6 +116,55 @@ TEST(GossipSim, GossipTimeReturnsMinusOneWhenStuck) {
   sched.mode = Mode::kHalfDuplex;
   sched.period = {{{{0, 1}}}};  // vertex 2 never participates
   EXPECT_EQ(gossip_time(sched, 50), -1);
+  EXPECT_EQ(gossip_time(protocol::CompiledSchedule::compile(sched), 50), -1);
+}
+
+// The compiled execution path must be result-identical to the legacy
+// arc-list walk: same gossip times, same per-vertex completion rounds,
+// serial or parallel.
+TEST(GossipSim, CompiledMatchesLegacyExecution) {
+  const std::vector<protocol::SystolicSchedule> corpus = {
+      protocol::path_schedule(6, Mode::kHalfDuplex),
+      protocol::cycle_schedule(7, Mode::kHalfDuplex),
+      protocol::hypercube_schedule(4, Mode::kFullDuplex),
+      protocol::hypercube_schedule(5, Mode::kHalfDuplex),
+  };
+  for (const auto& sched : corpus) {
+    const auto cs = protocol::CompiledSchedule::compile(sched);
+    const int legacy = gossip_time(sched, 1 << 12);
+    ASSERT_GT(legacy, 0);
+    EXPECT_EQ(gossip_time(cs, 1 << 12), legacy);
+    GossipOptions par;
+    par.parallel = true;
+    EXPECT_EQ(gossip_time(cs, 1 << 12, par), legacy);
+
+    const auto p = sched.expand(legacy);
+    GossipOptions track;
+    track.track_completion = true;
+    const auto want = run_gossip(p, track);
+    const auto got = run_gossip(protocol::CompiledSchedule::compile(p), track);
+    EXPECT_EQ(got.complete, want.complete);
+    EXPECT_EQ(got.rounds_executed, want.rounds_executed);
+    EXPECT_EQ(got.completion_round, want.completion_round);
+    EXPECT_EQ(got.vertex_completion, want.vertex_completion);
+    EXPECT_EQ(got.final_counts, want.final_counts);
+  }
+}
+
+TEST(GossipSim, CompiledRunGossipRejectsPeriodicSchedules) {
+  // One period is not a run: periodic compiled schedules go through
+  // gossip_time, finite protocols through run_gossip.
+  const auto sched = protocol::path_schedule(4, Mode::kHalfDuplex);
+  EXPECT_THROW((void)run_gossip(protocol::CompiledSchedule::compile(sched)),
+               std::invalid_argument);
+}
+
+TEST(GossipSim, CompiledFiniteProtocolStopsAtItsLength) {
+  // A finite compiled protocol never executes past round_count(), even
+  // when max_rounds asks for more.
+  const auto p = protocol::path_schedule(5, Mode::kHalfDuplex).expand(3);
+  const auto cs = protocol::CompiledSchedule::compile(p);
+  EXPECT_EQ(gossip_time(cs, 1 << 12), -1);  // 3 rounds cannot finish P5
 }
 
 }  // namespace
