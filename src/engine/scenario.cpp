@@ -18,6 +18,7 @@ std::string task_name(Task t) {
     case Task::kSeparatorCheck: return "separator";
     case Task::kSolveGossip: return "solve-gossip";
     case Task::kSolveBroadcast: return "solve-broadcast";
+    case Task::kSynthesize: return "synth";
   }
   return "?";
 }
@@ -30,13 +31,14 @@ Task parse_task_name(const std::string& name) {
   if (name == "separator") return Task::kSeparatorCheck;
   if (name == "solve-gossip") return Task::kSolveGossip;
   if (name == "solve-broadcast") return Task::kSolveBroadcast;
+  if (name == "synth") return Task::kSynthesize;
   throw std::invalid_argument("unknown task: " + name);
 }
 
 bool task_needs_dimension(Task t) noexcept {
   return t == Task::kSimulate || t == Task::kAudit ||
          t == Task::kSeparatorCheck || t == Task::kSolveGossip ||
-         t == Task::kSolveBroadcast;
+         t == Task::kSolveBroadcast || t == Task::kSynthesize;
 }
 
 std::size_t ScenarioKeyHash::operator()(const ScenarioKey& k) const noexcept {
@@ -59,7 +61,7 @@ std::vector<Family> registry_families() {
   fams.insert(fams.end(),
               {Family::kCycle, Family::kComplete, Family::kHypercube,
                Family::kCubeConnectedCycles, Family::kShuffleExchange,
-               Family::kKnodel});
+               Family::kKnodel, Family::kRandomRegular, Family::kRandomGnp});
   return fams;
 }
 
@@ -110,7 +112,9 @@ bool same_result(const SweepRecord& a, const SweepRecord& b) {
          a.lambda == b.lambda && a.rounds == b.rounds &&
          a.diameter == b.diameter && a.sep_distance == b.sep_distance &&
          a.sep_min_size == b.sep_min_size && a.states == b.states &&
-         a.group == b.group && a.budget == b.budget;
+         a.group == b.group && a.budget == b.budget &&
+         a.objective == b.objective && a.restarts == b.restarts &&
+         a.accepted == b.accepted;
 }
 
 std::string family_token(Family f) {
@@ -128,6 +132,8 @@ std::string family_token(Family f) {
     case Family::kCubeConnectedCycles: return "ccc";
     case Family::kShuffleExchange: return "se";
     case Family::kKnodel: return "knodel";
+    case Family::kRandomRegular: return "rr";
+    case Family::kRandomGnp: return "gnp";
   }
   return "?";
 }
@@ -146,6 +152,8 @@ Family parse_family_token(const std::string& token) {
   if (token == "ccc") return Family::kCubeConnectedCycles;
   if (token == "se") return Family::kShuffleExchange;
   if (token == "knodel") return Family::kKnodel;
+  if (token == "rr") return Family::kRandomRegular;
+  if (token == "gnp") return Family::kRandomGnp;
   throw std::invalid_argument("unknown family: " + token);
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/bounds.hpp"
 #include "protocol/protocol.hpp"
+#include "topology/random.hpp"
 #include "topology/topology.hpp"
 
 namespace sysgo::engine {
@@ -26,11 +27,13 @@ enum class Task {
   kSeparatorCheck,  // BFS-verify the Lemma 3.1 separator + graph stats
   kSolveGossip,     // exact optimal gossip time (search::solve, n <= 12)
   kSolveBroadcast,  // exact optimal broadcast time from vertex 0
+  kSynthesize,      // synth::synthesize a gossip schedule (multi-start
+                    // annealing; see src/synth/)
 };
 
 /// Stable token used in CSV/JSON output and CLI flags:
 /// "bound" | "diameter" | "simulate" | "audit" | "separator" |
-/// "solve-gossip" | "solve-broadcast".
+/// "solve-gossip" | "solve-broadcast" | "synth".
 [[nodiscard]] std::string task_name(Task t);
 [[nodiscard]] Task parse_task_name(const std::string& name);  // throws
 
@@ -75,6 +78,18 @@ struct ExecutionLimits {
   int solve_max_rounds = 64;
   std::size_t solve_max_states = 20'000'000;
   unsigned solve_threads = 1;
+  /// kSynthesize budgets: restarts × annealing iterations, plus an optional
+  /// per-restart wall-clock cap (0 = none; a nonzero cap trades the
+  /// thread-count determinism away).  synth_threads is the INNER restart
+  /// parallelism, like solve_threads.
+  int synth_restarts = 16;
+  int synth_iterations = 4000;
+  double synth_time_budget_ms = 0.0;
+  unsigned synth_threads = 1;
+  /// Seed for every randomized component of a run: random-topology family
+  /// members and the synthesizer's restart streams.  One seed per run —
+  /// echoed by the CLI so any randomized sweep is reproducible.
+  std::uint64_t seed = topology::kDefaultTopologySeed;
 };
 
 /// Declarative sweep grid.
@@ -105,7 +120,8 @@ struct ScenarioSpec {
 [[nodiscard]] std::vector<topology::Family> all_families();
 
 /// Every registered family: the paper's seven plus the classic testbed
-/// topologies (cycle, complete, hypercube, CCC, shuffle-exchange, Knödel).
+/// topologies (cycle, complete, hypercube, CCC, shuffle-exchange, Knödel)
+/// and the seeded random families (connected d-regular, connected G(n, p)).
 [[nodiscard]] std::vector<topology::Family> registry_families();
 
 /// Structured result of one executed job.  Fields not meaningful for the
@@ -133,6 +149,10 @@ struct SweepRecord {
   int budget = -1;      // solve tasks: 1 = state budget exhausted (raise
                         // solve_max_states), 0 = searched to completion;
                         // -1 = not applicable
+  double objective = -1.0;    // synth: scalarized objective of the best
+                              // schedule (synth::Objective::score)
+  int restarts = -1;          // synth: annealing restarts run
+  std::int64_t accepted = -1; // synth: accepted moves across restarts
   double millis = 0.0;  // wall-clock job time
 };
 
@@ -141,7 +161,7 @@ struct SweepRecord {
 
 /// Stable family token for CSV/JSON output and CLI flags: "bf" | "wbf-dir" |
 /// "wbf" | "db-dir" | "db" | "kautz-dir" | "kautz" | "cycle" | "complete" |
-/// "hypercube" | "ccc" | "se" | "knodel".
+/// "hypercube" | "ccc" | "se" | "knodel" | "rr" | "gnp".
 [[nodiscard]] std::string family_token(topology::Family f);
 [[nodiscard]] topology::Family parse_family_token(const std::string& token);  // throws
 

@@ -11,6 +11,7 @@
 #include "search/state.hpp"
 #include "separator/separator.hpp"
 #include "simulator/gossip_sim.hpp"
+#include "synth/synthesizer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sysgo::engine {
@@ -47,11 +48,11 @@ struct ArtifactCache::Entry {
 };
 
 std::shared_ptr<const ScenarioArtifacts> ArtifactCache::get_or_build(
-    const ScenarioKey& key, const Builder& build) {
+    const ScenarioKey& key, std::uint64_t seed, const Builder& build) {
   std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = map_.try_emplace(key);
+    auto [it, inserted] = map_.try_emplace(SeededKey{key, seed});
     if (inserted) {
       it->second = std::make_shared<Entry>();
       ++misses_;
@@ -89,10 +90,10 @@ SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts)) {
 SweepRunner::~SweepRunner() = default;
 
 std::shared_ptr<const ScenarioArtifacts> SweepRunner::artifacts(
-    const ScenarioKey& key) {
-  const auto build = [&key]() {
+    const ScenarioKey& key, std::uint64_t seed) {
+  const auto build = [&key, seed]() {
     auto art = std::make_shared<ScenarioArtifacts>();
-    art->graph = topology::make_family(key.family, key.d, key.D);
+    art->graph = topology::make_family(key.family, key.d, key.D, seed);
     art->schedule = protocol::edge_coloring_schedule(art->graph, key.mode);
     // The one structural validation of this scenario's schedule; every
     // task below executes the pre-validated flat form.  The coloring
@@ -106,7 +107,7 @@ std::shared_ptr<const ScenarioArtifacts> SweepRunner::artifacts(
     return std::shared_ptr<const ScenarioArtifacts>(std::move(art));
   };
   if (!opts_.use_cache) return build();
-  return cache_.get_or_build(key, build);
+  return cache_.get_or_build(key, seed, build);
 }
 
 SweepRecord SweepRunner::run_job(const SweepJob& job,
@@ -145,7 +146,7 @@ SweepRecord SweepRunner::run_job(const SweepJob& job,
       break;
     }
     case Task::kSimulate: {
-      const auto art = artifacts(job.key);
+      const auto art = artifacts(job.key, limits.seed);
       r.n = art->compiled.n();
       r.s = art->compiled.period_length();
       simulator::GossipOptions gopts;
@@ -155,7 +156,7 @@ SweepRecord SweepRunner::run_job(const SweepJob& job,
       break;
     }
     case Task::kAudit: {
-      const auto art = artifacts(job.key);
+      const auto art = artifacts(job.key, limits.seed);
       r.n = art->compiled.n();
       r.s = art->compiled.period_length();
       const auto audit = core::audit_schedule(art->compiled);
@@ -165,7 +166,7 @@ SweepRecord SweepRunner::run_job(const SweepJob& job,
       break;
     }
     case Task::kSeparatorCheck: {
-      const auto art = artifacts(job.key);
+      const auto art = artifacts(job.key, limits.seed);
       r.n = art->graph.vertex_count();
       r.diameter = graph::diameter(art->graph);
       const auto sep =
@@ -198,7 +199,8 @@ SweepRecord SweepRunner::run_job(const SweepJob& job,
       }
       // Solvable members are tiny (n <= 12): build just the graph, not the
       // artifact bundle — its edge-coloring schedule is never read here.
-      const auto g = topology::make_family(job.key.family, job.key.d, job.key.D);
+      const auto g = topology::make_family(job.key.family, job.key.d, job.key.D,
+                                           limits.seed);
       r.n = g.vertex_count();
       search::SolveOptions so;
       so.problem = job.task == Task::kSolveGossip
@@ -213,6 +215,36 @@ SweepRecord SweepRunner::run_job(const SweepJob& job,
       r.states = static_cast<std::int64_t>(sr.states_explored);
       r.group = static_cast<std::int64_t>(sr.group_order);
       r.budget = sr.budget_exhausted ? 1 : 0;
+      break;
+    }
+    case Task::kSynthesize: {
+      // Unbuildable members (odd random-regular n*d, out-of-cap D, ...)
+      // yield a sentinel record (n = 0, rounds = -1) like the solve tasks
+      // instead of aborting the sweep.
+      try {
+        (void)topology::family_order(job.key.family, job.key.d, job.key.D);
+      } catch (const std::invalid_argument&) {
+        break;
+      }
+      // Build just the graph: the artifact bundle's edge-coloring schedule
+      // would go unused (the synthesizer derives its own warm starts).
+      const auto g = topology::make_family(job.key.family, job.key.d,
+                                           job.key.D, limits.seed);
+      r.n = g.vertex_count();
+      synth::SynthOptions so;
+      so.mode = job.key.mode;
+      so.objective.max_rounds = limits.simulate_max_rounds;
+      so.restarts = limits.synth_restarts;
+      so.iterations = limits.synth_iterations;
+      so.time_budget_ms = limits.synth_time_budget_ms;
+      so.threads = limits.synth_threads;
+      so.seed = limits.seed;
+      const auto sr = synth::synthesize(g, so);
+      r.s = sr.schedule.period_length();
+      r.rounds = sr.objective.rounds;
+      r.objective = sr.objective.score();
+      r.restarts = sr.restarts_run;
+      r.accepted = sr.moves_accepted;
       break;
     }
   }

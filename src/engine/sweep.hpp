@@ -8,6 +8,7 @@
 // interleaving, so threaded and serial sweeps produce identical output.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -37,13 +38,16 @@ struct ScenarioArtifacts {
 };
 
 /// Build-once cache of scenario artifacts, safe for concurrent lookups.
-/// Concurrent requests for the same key wait on a single build.
+/// Concurrent requests for the same key wait on a single build.  The seed
+/// is part of the cache key: random-family members differ per seed, and a
+/// runner reused across run_jobs calls with different seeds must not serve
+/// the first seed's graphs.
 class ArtifactCache {
  public:
   using Builder = std::function<std::shared_ptr<const ScenarioArtifacts>()>;
 
   [[nodiscard]] std::shared_ptr<const ScenarioArtifacts> get_or_build(
-      const ScenarioKey& key, const Builder& build);
+      const ScenarioKey& key, std::uint64_t seed, const Builder& build);
 
   struct Stats {
     std::size_t hits = 0;
@@ -54,8 +58,19 @@ class ArtifactCache {
 
  private:
   struct Entry;
+  struct SeededKey {
+    ScenarioKey key;
+    std::uint64_t seed = 0;
+    friend bool operator==(const SeededKey&, const SeededKey&) = default;
+  };
+  struct SeededKeyHash {
+    [[nodiscard]] std::size_t operator()(const SeededKey& k) const noexcept {
+      return ScenarioKeyHash{}(k.key) * 1000003u ^
+             static_cast<std::size_t>(k.seed);
+    }
+  };
   mutable std::mutex mutex_;
-  std::unordered_map<ScenarioKey, std::shared_ptr<Entry>, ScenarioKeyHash> map_;
+  std::unordered_map<SeededKey, std::shared_ptr<Entry>, SeededKeyHash> map_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };
@@ -89,8 +104,10 @@ class SweepRunner {
   }
 
  private:
+  /// `seed` feeds random-topology members (deterministic families ignore
+  /// it) and is part of the cache key.
   [[nodiscard]] std::shared_ptr<const ScenarioArtifacts> artifacts(
-      const ScenarioKey& key);
+      const ScenarioKey& key, std::uint64_t seed);
   [[nodiscard]] SweepRecord run_job(const SweepJob& job,
                                     const ExecutionLimits& limits);
 

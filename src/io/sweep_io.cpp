@@ -23,7 +23,8 @@ const std::vector<std::string> kColumns{
     "family", "d",        "D",            "mode",         "task",
     "s",      "n",        "alpha",        "ell",          "e",
     "lambda", "rounds",   "diameter",     "sep_distance", "sep_min_size",
-    "states", "group",    "budget",       "millis"};
+    "states", "group",    "budget",       "objective",    "restarts",
+    "accepted", "millis"};
 
 std::vector<std::string> record_cells(const engine::SweepRecord& r) {
   return {engine::family_token(r.key.family),
@@ -44,6 +45,9 @@ std::vector<std::string> record_cells(const engine::SweepRecord& r) {
           std::to_string(r.states),
           std::to_string(r.group),
           std::to_string(r.budget),
+          full_double(r.objective),
+          std::to_string(r.restarts),
+          std::to_string(r.accepted),
           full_double(r.millis)};
 }
 
@@ -69,6 +73,9 @@ engine::SweepRecord record_from_fields(
     else if (key == "states") r.states = std::stoll(value);
     else if (key == "group") r.group = std::stoll(value);
     else if (key == "budget") r.budget = std::stoi(value);
+    else if (key == "objective") r.objective = std::stod(value);
+    else if (key == "restarts") r.restarts = std::stoi(value);
+    else if (key == "accepted") r.accepted = std::stoll(value);
     else if (key == "millis") r.millis = std::stod(value);
     else throw std::invalid_argument("unknown sweep field: " + key);
   }
@@ -107,14 +114,18 @@ std::string sweep_csv(const std::vector<engine::SweepRecord>& records) {
 std::vector<engine::SweepRecord> parse_sweep_csv(const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line))
-    throw std::invalid_argument("empty sweep CSV");
+  // '#' lines are metadata the CLI prepends (e.g. "# seed=42"); skip them
+  // wherever they appear.
+  do {
+    if (!std::getline(in, line))
+      throw std::invalid_argument("empty sweep CSV");
+  } while (line.empty() || line[0] == '#');
   const auto header = split_csv_line(line);
   if (header != kColumns)
     throw std::invalid_argument("unexpected sweep CSV header: " + line);
   std::vector<engine::SweepRecord> records;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    if (line.empty() || line[0] == '#') continue;
     const auto cells = split_csv_line(line);
     if (cells.size() != kColumns.size())
       throw std::invalid_argument("bad sweep CSV row: " + line);

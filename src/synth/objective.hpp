@@ -1,0 +1,61 @@
+// Objective evaluation for schedule synthesis.
+//
+// A candidate schedule's quality is its *measured* completion time through
+// the compiled simulator — gossip (all-pairs) or broadcast from a source —
+// tie-broken by period length, then active-link count (fewer links = the
+// same time with less hardware).  Optionally the Theorem 4.1 audited lower
+// bound is evaluated too, and the gap (measured − certified) joins the
+// order right after the round count, steering the annealer toward
+// schedules the paper's machinery proves near-optimal.
+//
+// Infeasible candidates (incomplete within max_rounds) rank strictly below
+// every feasible one, ordered among themselves by knowledge coverage so
+// the annealer still has a gradient toward feasibility.
+#pragma once
+
+#include "protocol/compiled.hpp"
+
+namespace sysgo::synth {
+
+enum class Goal {
+  kGossip,     // every vertex learns every item
+  kBroadcast,  // every vertex learns the source's item
+};
+
+struct ObjectiveOptions {
+  Goal goal = Goal::kGossip;
+  int source = 0;          // broadcast source (ignored by gossip)
+  int max_rounds = 4096;   // simulation cap; beyond = infeasible
+  /// Add the Theorem 4.1 gap term (gossip goal only — the audit certifies
+  /// gossip rounds; the flag is ignored for broadcast).
+  bool audit_gap = false;
+};
+
+struct Objective {
+  bool feasible = false;
+  int rounds = -1;     // completion time, -1 when infeasible
+  int period = 0;      // schedule period
+  int links = 0;       // active links summed over the period
+  int coverage = 0;    // items delivered at the end of the run (gradient
+                       // signal for infeasible candidates)
+  double audit_gap = 0.0;  // rounds − certified lower bound (audit_gap only)
+
+  /// Annealing energy, lower = better: a scalarization the acceptance rule
+  /// can take deltas of.  Feasible: rounds·1e6 + gap·1e4 + period·1e3 +
+  /// links; infeasible: 1e12 − coverage·1e3 + period.  Approximate at the
+  /// decimal boundaries (period >= 10, links >= 1000) — ranking decisions
+  /// use better(), which compares the criteria exactly.
+  [[nodiscard]] double score() const noexcept;
+};
+
+/// Strict "a beats b" under the documented tie order, compared
+/// lexicographically: feasible first; then rounds, audit gap, period,
+/// links; infeasible candidates by coverage (desc), then period.
+[[nodiscard]] bool better(const Objective& a, const Objective& b) noexcept;
+
+/// Evaluate a compiled periodic schedule.  Throws std::invalid_argument for
+/// a non-periodic compilation or a broadcast source out of range.
+[[nodiscard]] Objective evaluate(const protocol::CompiledSchedule& cs,
+                                 const ObjectiveOptions& opts);
+
+}  // namespace sysgo::synth

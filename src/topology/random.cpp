@@ -1,0 +1,102 @@
+#include "topology/random.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/search.hpp"
+#include "util/rng.hpp"
+
+namespace sysgo::topology {
+
+namespace {
+
+constexpr int kMaxAttempts = 1000;
+
+/// Build the symmetric digraph of an edge list; the caller keeps it only
+/// when connected (one build serves both the test and the return value).
+graph::Digraph from_edges(int n, const std::vector<std::pair<int, int>>& edges) {
+  graph::Digraph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  g.finalize();
+  return g;
+}
+
+}  // namespace
+
+graph::Digraph random_regular(int d, int n, std::uint64_t seed) {
+  if (d < 2 || d >= n)
+    throw std::invalid_argument("random_regular: need 2 <= d < n");
+  if ((static_cast<std::int64_t>(n) * d) % 2 != 0)
+    throw std::invalid_argument("random_regular: n*d must be even");
+
+  // Configuration model: shuffle the n*d stubs, pair them consecutively,
+  // reject the whole sample on a self-loop, parallel edge or disconnected
+  // result.  For the small d used here acceptance is high (asymptotically
+  // e^{-(d^2-1)/4} for simplicity alone).
+  std::vector<int> stubs(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  for (int v = 0; v < n; ++v)
+    for (int k = 0; k < d; ++k)
+      stubs[static_cast<std::size_t>(v) * static_cast<std::size_t>(d) +
+            static_cast<std::size_t>(k)] = v;
+
+  std::vector<char> seen(static_cast<std::size_t>(n) *
+                             static_cast<std::size_t>(n),
+                         0);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(stubs.size() / 2);
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    util::Rng rng(util::derive_seed(seed, static_cast<std::uint64_t>(attempt)));
+    std::shuffle(stubs.begin(), stubs.end(), rng.engine());
+    edges.clear();
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const int u = stubs[i];
+      const int v = stubs[i + 1];
+      if (u == v) {
+        simple = false;
+        break;
+      }
+      const std::size_t key = static_cast<std::size_t>(std::min(u, v)) *
+                                  static_cast<std::size_t>(n) +
+                              static_cast<std::size_t>(std::max(u, v));
+      if (seen[key]) {
+        simple = false;
+        break;
+      }
+      seen[key] = 1;
+      edges.emplace_back(u, v);
+    }
+    // Clear only the marks this attempt set (the buffer outlives attempts).
+    for (const auto& [u, v] : edges)
+      seen[static_cast<std::size_t>(std::min(u, v)) *
+               static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(std::max(u, v))] = 0;
+    if (!simple) continue;
+    auto g = from_edges(n, edges);
+    if (graph::is_strongly_connected(g)) return g;
+  }
+  throw std::runtime_error(
+      "random_regular: no simple connected sample within the retry budget");
+}
+
+graph::Digraph random_gnp(int n, double p, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("random_gnp: need n >= 2");
+  if (!(p > 0.0) || p > 1.0)
+    throw std::invalid_argument("random_gnp: need p in (0, 1]");
+
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    util::Rng rng(util::derive_seed(seed, static_cast<std::uint64_t>(attempt)));
+    std::vector<std::pair<int, int>> edges;
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v)
+        if (rng.flip(p)) edges.emplace_back(u, v);
+    auto g = from_edges(n, edges);
+    if (graph::is_strongly_connected(g)) return g;
+  }
+  throw std::runtime_error(
+      "random_gnp: no connected sample within the retry budget "
+      "(p is far below the connectivity threshold)");
+}
+
+}  // namespace sysgo::topology

@@ -1,0 +1,37 @@
+// Seeded random network families: connected random d-regular graphs
+// (configuration model with rejection) and connected Erdős–Rényi G(n, p).
+//
+// The paper's machinery never depends on a family having closed-form
+// structure — the audit, the simulator and the synthesizer take any
+// network.  These generators supply instances beyond the paper's tables;
+// construction is fully determined by the explicit seed, so sweeps and
+// synthesis runs over random members are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace sysgo::topology {
+
+/// Seed used by the registry (make_family) for random members; mixed with
+/// (d, D) per member so distinct members are distinct instances.
+inline constexpr std::uint64_t kDefaultTopologySeed = 0x5397a11cULL;
+
+/// Connected random d-regular graph on n vertices as a symmetric digraph:
+/// the configuration model (uniform stub pairing) with whole-graph
+/// rejection of self-loops, parallel edges and disconnected outcomes.
+/// Requires 2 <= d < n and n*d even; throws std::invalid_argument
+/// otherwise, or std::runtime_error if no simple connected graph shows up
+/// within the (generous) retry budget.
+[[nodiscard]] graph::Digraph random_regular(int d, int n, std::uint64_t seed);
+
+/// Connected Erdős–Rényi G(n, p) as a symmetric digraph: every unordered
+/// pair is an edge independently with probability p, rejecting
+/// disconnected outcomes.  Requires n >= 2 and p in (0, 1]; throws
+/// std::invalid_argument otherwise, or std::runtime_error when no
+/// connected sample shows up within the retry budget (p far below the
+/// ln(n)/n connectivity threshold).
+[[nodiscard]] graph::Digraph random_gnp(int n, double p, std::uint64_t seed);
+
+}  // namespace sysgo::topology

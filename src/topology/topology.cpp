@@ -8,8 +8,10 @@
 #include "topology/de_bruijn.hpp"
 #include "topology/kautz.hpp"
 #include "topology/knodel.hpp"
+#include "topology/random.hpp"
 #include "topology/shuffle_exchange.hpp"
 #include "topology/wrapped_butterfly.hpp"
+#include "util/rng.hpp"
 
 namespace sysgo::topology {
 
@@ -29,11 +31,36 @@ std::string family_name(Family f, int d) {
     case Family::kCubeConnectedCycles: return "CCC(D)";
     case Family::kShuffleExchange: return "SE(D)";
     case Family::kKnodel: return "W(" + ds + ",D)";
+    case Family::kRandomRegular: return "RR(" + ds + ",D)";
+    case Family::kRandomGnp: return "GNP(" + ds + ",D)";
   }
   throw std::invalid_argument("family_name: unknown family");
 }
 
+namespace {
+
+/// G(n, p) member: p chosen so the expected degree is the grid's d.
+double gnp_probability(int d, int n) {
+  const double p = static_cast<double>(d) / static_cast<double>(n - 1);
+  return p > 1.0 ? 1.0 : p;
+}
+
+/// Per-member instance seed: distinct (family, d, D) members of one run
+/// are independent instances of the same user seed.
+std::uint64_t member_seed(Family f, int d, int D, std::uint64_t seed) {
+  const std::uint64_t tag = (static_cast<std::uint64_t>(f) << 40) ^
+                            (static_cast<std::uint64_t>(d) << 20) ^
+                            static_cast<std::uint64_t>(D);
+  return util::derive_seed(seed, tag);
+}
+
+}  // namespace
+
 graph::Digraph make_family(Family f, int d, int D) {
+  return make_family(f, d, D, kDefaultTopologySeed);
+}
+
+graph::Digraph make_family(Family f, int d, int D, std::uint64_t seed) {
   switch (f) {
     case Family::kButterfly: return butterfly(d, D);
     case Family::kWrappedButterflyDirected: return wrapped_butterfly_directed(d, D);
@@ -48,6 +75,15 @@ graph::Digraph make_family(Family f, int d, int D) {
     case Family::kCubeConnectedCycles: return cube_connected_cycles(D);
     case Family::kShuffleExchange: return shuffle_exchange(D);
     case Family::kKnodel: return knodel(d, D);
+    case Family::kRandomRegular:
+    case Family::kRandomGnp:
+      // Route the parameter validation through family_order so both entry
+      // points accept/reject identically (size cap, gnp degree range).
+      (void)family_order(f, d, D);
+      return f == Family::kRandomRegular
+                 ? random_regular(d, D, member_seed(f, d, D, seed))
+                 : random_gnp(D, gnp_probability(d, D),
+                              member_seed(f, d, D, seed));
   }
   throw std::invalid_argument("make_family: unknown family");
 }
@@ -99,6 +135,17 @@ std::int64_t family_order(Family f, int d, int D) {
       check(d >= 1 && d <= knodel_max_delta(D),
             "knodel: need 1 <= delta <= floor(log2(n))");
       return D;
+    case Family::kRandomRegular:
+      check(d >= 2 && d < D, "random_regular: need 2 <= d < n");
+      check((static_cast<std::int64_t>(D) * d) % 2 == 0,
+            "random_regular: n*d must be even");
+      check(D <= 4096, "random_regular: too large");
+      return D;
+    case Family::kRandomGnp:
+      check(D >= 2, "random_gnp: need n >= 2");
+      check(d >= 1 && d <= D - 1, "random_gnp: need 1 <= d <= n - 1");
+      check(D <= 4096, "random_gnp: too large");
+      return D;
   }
   throw std::invalid_argument("family_order: unknown family");
 }
@@ -115,6 +162,8 @@ bool family_is_symmetric(Family f) noexcept {
     case Family::kCubeConnectedCycles:
     case Family::kShuffleExchange:
     case Family::kKnodel:
+    case Family::kRandomRegular:
+    case Family::kRandomGnp:
       return true;
     default:
       return false;

@@ -5,6 +5,7 @@
 // parameter d, dimension D) used in table rows.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "graph/digraph.hpp"
@@ -29,15 +30,28 @@ enum class Family {
   kCubeConnectedCycles,       // CCC(D) (d unused)
   kShuffleExchange,           // SE(D), undirected (d unused)
   kKnodel,                    // W(d, D) Knödel graph (D = vertex count, even)
+  kRandomRegular,             // RR(d, D): connected random d-regular on D
+                              // vertices (seeded; see topology/random.hpp)
+  kRandomGnp,                 // GNP(d, D): connected G(n = D, p = d/(D-1))
+                              // (d = target expected degree; seeded)
 };
 
 /// Short display name matching the paper's notation, e.g. "WBF(2,D)".
 [[nodiscard]] std::string family_name(Family f, int d);
 
 /// Instantiate the family at dimension D.  For kCycle / kComplete / kKnodel
-/// the "dimension" is the vertex count; d parameterizes only the degree-d
-/// families (it is ignored by the fixed-degree classics).
+/// and the random families the "dimension" is the vertex count; d
+/// parameterizes only the degree-d families (it is ignored by the
+/// fixed-degree classics).  Random members are built from
+/// kDefaultTopologySeed (topology/random.hpp) mixed per (family, d, D),
+/// so repeated calls are identical.
 [[nodiscard]] graph::Digraph make_family(Family f, int d, int D);
+
+/// Same, but random families derive their instance from `seed` instead of
+/// the default (deterministic families ignore it).  This is the overload
+/// behind the CLI's --seed flag.
+[[nodiscard]] graph::Digraph make_family(Family f, int d, int D,
+                                         std::uint64_t seed);
 
 /// Vertex count of make_family(f, d, D) in closed form, validating the
 /// same parameter constraints (throws std::invalid_argument exactly when

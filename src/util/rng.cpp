@@ -2,11 +2,19 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 namespace sysgo::util {
 
 int Rng::uniform_int(int lo, int hi) {
+  // std::uniform_int_distribution with lo > hi is undefined behavior.
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
   return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::uniform_index: empty range");
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
 }
 
 double Rng::uniform01() {
@@ -16,10 +24,19 @@ double Rng::uniform01() {
 bool Rng::flip(double p) { return uniform01() < p; }
 
 std::vector<int> Rng::permutation(int n) {
+  if (n <= 0) return {};  // a negative n would wrap to a huge allocation
   std::vector<int> perm(static_cast<std::size_t>(n));
   std::iota(perm.begin(), perm.end(), 0);
   std::shuffle(perm.begin(), perm.end(), engine_);
   return perm;
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // splitmix64 finalizer over the combined state; full-period and cheap.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
 
 }  // namespace sysgo::util

@@ -15,8 +15,13 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5397a11cULL) : engine_(seed) {}
 
-  /// Uniform integer in [lo, hi] (inclusive).
+  /// Uniform integer in [lo, hi] (inclusive).  Throws std::invalid_argument
+  /// when lo > hi (an empty range has no uniform draw).
   [[nodiscard]] int uniform_int(int lo, int hi);
+
+  /// Uniform index in [0, n): the container-subscript draw (move pickers,
+  /// pool sampling).  Throws std::invalid_argument when n == 0.
+  [[nodiscard]] std::size_t uniform_index(std::size_t n);
 
   /// Uniform real in [0, 1).
   [[nodiscard]] double uniform01();
@@ -24,7 +29,7 @@ class Rng {
   /// Bernoulli draw with probability p of true.
   [[nodiscard]] bool flip(double p = 0.5);
 
-  /// Random permutation of {0, ..., n-1}.
+  /// Random permutation of {0, ..., n-1}; empty for n <= 0.
   [[nodiscard]] std::vector<int> permutation(int n);
 
   /// Underlying engine, for std::shuffle and distributions.
@@ -33,5 +38,12 @@ class Rng {
  private:
   std::mt19937_64 engine_;
 };
+
+/// Deterministic independent sub-stream seed: splitmix64 of (seed, stream).
+/// Components that fan one user seed out over parallel units (annealer
+/// restarts, random-family members) derive each unit's Rng from this so
+/// results are independent of scheduling and thread count.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed,
+                                        std::uint64_t stream) noexcept;
 
 }  // namespace sysgo::util

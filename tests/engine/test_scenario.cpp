@@ -13,7 +13,7 @@ TEST(Scenario, TokensRoundTrip) {
     EXPECT_EQ(parse_family_token(family_token(f)), f);
   for (Task t : {Task::kBound, Task::kDiameterBound, Task::kSimulate,
                  Task::kAudit, Task::kSeparatorCheck, Task::kSolveGossip,
-                 Task::kSolveBroadcast})
+                 Task::kSolveBroadcast, Task::kSynthesize})
     EXPECT_EQ(parse_task_name(task_name(t)), t);
   for (Mode m : {Mode::kHalfDuplex, Mode::kFullDuplex})
     EXPECT_EQ(parse_mode_name(mode_name(m)), m);
@@ -26,13 +26,14 @@ TEST(Scenario, RegistryFamiliesExtendPaperFamilies) {
   const auto paper = all_families();
   const auto all = registry_families();
   ASSERT_EQ(paper.size(), 7u);
-  ASSERT_EQ(all.size(), 13u);
+  ASSERT_EQ(all.size(), 15u);
   for (std::size_t i = 0; i < paper.size(); ++i) EXPECT_EQ(all[i], paper[i]);
 }
 
 TEST(Scenario, SolveTasksNeedDimension) {
   EXPECT_TRUE(task_needs_dimension(Task::kSolveGossip));
   EXPECT_TRUE(task_needs_dimension(Task::kSolveBroadcast));
+  EXPECT_TRUE(task_needs_dimension(Task::kSynthesize));
   EXPECT_FALSE(task_needs_dimension(Task::kBound));
 }
 

@@ -10,6 +10,7 @@
 #include "protocol/classic_protocols.hpp"
 #include "search/solver.hpp"
 #include "simulator/gossip_sim.hpp"
+#include "synth/synthesizer.hpp"
 #include "topology/classic.hpp"
 #include "topology/de_bruijn.hpp"
 
@@ -273,6 +274,133 @@ TEST(Sweep, RunCasesMatchesDirectSimulationAndAudit) {
     // Paper shape: the certified bound never exceeds the measured time.
     EXPECT_GT(r.measured, 0);
     EXPECT_LE(r.audit.round_lower_bound, r.measured);
+  }
+}
+
+TEST(Sweep, SynthesizeTaskMatchesDirectSynthesis) {
+  ScenarioSpec spec;
+  spec.families = {Family::kCycle};
+  spec.degrees = {2};
+  spec.dimensions = {8};
+  spec.tasks = {Task::kSynthesize};
+  spec.limits.synth_restarts = 3;
+  spec.limits.synth_iterations = 400;
+  spec.limits.seed = 99;
+  SweepRunner runner;
+  const auto records = runner.run(spec);
+  ASSERT_EQ(records.size(), 1u);
+  const auto& r = records[0];
+  EXPECT_EQ(r.task, Task::kSynthesize);
+  EXPECT_EQ(r.n, 8);
+  EXPECT_EQ(r.restarts, 3);
+  EXPECT_GE(r.accepted, 0);
+  EXPECT_GT(r.rounds, 0);
+  EXPECT_GT(r.s, 0);
+
+  synth::SynthOptions so;
+  so.mode = Mode::kHalfDuplex;
+  so.objective.max_rounds = spec.limits.simulate_max_rounds;
+  so.restarts = 3;
+  so.iterations = 400;
+  so.seed = 99;
+  so.threads = 1;
+  const auto direct = synth::synthesize(topology::cycle(8), so);
+  EXPECT_EQ(r.rounds, direct.objective.rounds);
+  EXPECT_EQ(r.s, direct.schedule.period_length());
+  EXPECT_DOUBLE_EQ(r.objective, direct.objective.score());
+  EXPECT_EQ(r.accepted, direct.moves_accepted);
+}
+
+TEST(Sweep, SynthesizeSweepThreadedMatchesSerial) {
+  ScenarioSpec spec;
+  spec.families = {Family::kCycle, Family::kKnodel};
+  spec.degrees = {2};
+  spec.dimensions = {6, 8};
+  spec.modes = {Mode::kHalfDuplex, Mode::kFullDuplex};
+  spec.tasks = {Task::kSynthesize};
+  spec.limits.synth_restarts = 2;
+  spec.limits.synth_iterations = 250;
+  spec.limits.seed = 5;
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepRunner serial_runner{serial};
+  const auto expected = serial_runner.run(spec);
+
+  SweepOptions threaded;
+  threaded.threads = 3;
+  SweepRunner threaded_runner{threaded};
+  const auto got = threaded_runner.run(spec);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_TRUE(same_result(got[i], expected[i])) << "record " << i;
+
+  // Inner restart parallelism must not change results either.
+  ScenarioSpec inner = spec;
+  inner.limits.synth_threads = 3;
+  SweepRunner inner_runner{serial};
+  const auto inner_records = inner_runner.run(inner);
+  ASSERT_EQ(inner_records.size(), expected.size());
+  for (std::size_t i = 0; i < inner_records.size(); ++i)
+    EXPECT_TRUE(same_result(inner_records[i], expected[i])) << "record " << i;
+}
+
+TEST(Sweep, SynthesizeEmitsSentinelForUnbuildableMembers) {
+  ScenarioSpec spec;
+  spec.families = {Family::kRandomRegular};
+  spec.degrees = {3};
+  spec.dimensions = {4, 5, 6};  // D=5: odd n*d, unbuildable
+  spec.tasks = {Task::kSynthesize};
+  spec.limits.synth_restarts = 2;
+  spec.limits.synth_iterations = 100;
+  SweepRunner runner;
+  const auto records = runner.run(spec);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_GT(records[0].rounds, 0);
+  EXPECT_EQ(records[1].n, 0);  // sentinel, sweep not aborted
+  EXPECT_EQ(records[1].rounds, -1);
+  EXPECT_EQ(records[1].restarts, -1);
+  EXPECT_GT(records[2].rounds, 0);
+}
+
+TEST(Sweep, ArtifactCacheKeysOnSeed) {
+  // A runner reused across runs with different seeds must rebuild random
+  // members, not serve the first seed's graphs.
+  ScenarioSpec spec;
+  spec.families = {Family::kRandomGnp};
+  spec.degrees = {3};
+  spec.dimensions = {14};
+  spec.tasks = {Task::kSimulate};
+  spec.limits.seed = 1;
+  SweepRunner reused;
+  const auto first = reused.run(spec);
+  spec.limits.seed = 2;
+  const auto second = reused.run(spec);
+  SweepRunner fresh;
+  const auto expected = fresh.run(spec);
+  ASSERT_EQ(second.size(), 1u);
+  ASSERT_EQ(expected.size(), 1u);
+  EXPECT_TRUE(same_result(second[0], expected[0]));
+  EXPECT_EQ(reused.cache_stats().misses, 2u);  // one build per seed
+  (void)first;
+}
+
+TEST(Sweep, RandomFamilyRecordsReproducibleFromSeed) {
+  ScenarioSpec spec;
+  spec.families = {Family::kRandomRegular, Family::kRandomGnp};
+  spec.degrees = {3};
+  spec.dimensions = {12};
+  spec.tasks = {Task::kSimulate, Task::kAudit};
+  spec.limits.seed = 31337;
+  SweepRunner a, b;
+  const auto first = a.run(spec);
+  const auto second = b.run(spec);
+  ASSERT_EQ(first.size(), 4u);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(same_result(first[i], second[i])) << "record " << i;
+    EXPECT_EQ(first[i].n, 12);
+    EXPECT_GT(first[i].rounds, 0);
   }
 }
 

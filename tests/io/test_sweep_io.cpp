@@ -49,7 +49,18 @@ std::vector<SweepRecord> sample_records() {
   solve.group = 18;
   solve.budget = 0;
   solve.millis = 12.5;
-  return {bound, sim, sep, solve};
+
+  SweepRecord synth;
+  synth.key = {Family::kRandomRegular, 3, 16, Mode::kHalfDuplex};
+  synth.task = Task::kSynthesize;
+  synth.s = 5;
+  synth.n = 16;
+  synth.rounds = 14;
+  synth.objective = 14005024.0;
+  synth.restarts = 16;
+  synth.accepted = 4321;
+  synth.millis = 120.25;
+  return {bound, sim, sep, solve, synth};
 }
 
 void expect_same(const std::vector<SweepRecord>& a,
@@ -89,6 +100,20 @@ TEST(SweepIo, RealSweepOutputRoundTripsBothFormats) {
   ASSERT_FALSE(records.empty());
   expect_same(parse_sweep_csv(sweep_csv(records)), records);
   expect_same(parse_sweep_json(sweep_json(records)), records);
+}
+
+TEST(SweepIo, CsvCommentLinesAreSkipped) {
+  // The CLI prepends "# seed=N" to CSV output; the parser must ignore '#'
+  // lines wherever they appear.
+  const auto records = sample_records();
+  const std::string with_comments =
+      "# seed=424242\n" + sweep_csv_header() + "# mid-stream note\n" +
+      sweep_csv_row(records[0]) + sweep_csv_row(records[1]);
+  const auto parsed = parse_sweep_csv(with_comments);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_TRUE(engine::same_result(parsed[0], records[0]));
+  EXPECT_TRUE(engine::same_result(parsed[1], records[1]));
+  EXPECT_THROW(parse_sweep_csv("# only comments\n"), std::invalid_argument);
 }
 
 TEST(SweepIo, MalformedInputThrows) {

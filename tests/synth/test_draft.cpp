@@ -1,0 +1,202 @@
+#include "synth/draft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "protocol/builders.hpp"
+#include "protocol/compiled.hpp"
+#include "topology/classic.hpp"
+#include "topology/de_bruijn.hpp"
+#include "util/rng.hpp"
+
+namespace sysgo::synth {
+namespace {
+
+using graph::Arc;
+using protocol::CompiledSchedule;
+using protocol::Mode;
+
+/// Recompute occupancy from scratch and compare with the incremental table.
+void expect_consistent(const ScheduleDraft& d) {
+  for (int r = 0; r < d.period(); ++r) {
+    std::vector<int> expect(static_cast<std::size_t>(d.n()), -1);
+    for (std::size_t i = 0; i < d.links(r).size(); ++i) {
+      expect[static_cast<std::size_t>(d.links(r)[i].tail)] = static_cast<int>(i);
+      expect[static_cast<std::size_t>(d.links(r)[i].head)] = static_cast<int>(i);
+    }
+    for (int v = 0; v < d.n(); ++v)
+      EXPECT_EQ(d.link_of(r, v), expect[static_cast<std::size_t>(v)])
+          << "round " << r << " vertex " << v;
+  }
+}
+
+TEST(Draft, RoundTripsBothModes) {
+  const auto g = topology::de_bruijn(2, 3);
+  for (Mode mode : {Mode::kHalfDuplex, Mode::kFullDuplex}) {
+    const auto sched = protocol::edge_coloring_schedule(g, mode);
+    const auto draft = ScheduleDraft::from_schedule(sched);
+    EXPECT_EQ(draft.period(), sched.period_length());
+    // Compiled forms compare by canonical per-round arc sets.
+    EXPECT_EQ(CompiledSchedule::compile(draft.to_schedule()),
+              CompiledSchedule::compile(sched));
+  }
+}
+
+TEST(Draft, FromScheduleRejectsInvalidInput) {
+  protocol::SystolicSchedule empty;
+  empty.n = 4;
+  EXPECT_THROW((void)ScheduleDraft::from_schedule(empty), std::invalid_argument);
+
+  protocol::SystolicSchedule clash;
+  clash.n = 4;
+  clash.period.push_back({{{0, 1}, {1, 2}}});  // vertex 1 twice
+  EXPECT_THROW((void)ScheduleDraft::from_schedule(clash), std::invalid_argument);
+
+  protocol::SystolicSchedule half_pair;
+  half_pair.n = 4;
+  half_pair.mode = Mode::kFullDuplex;
+  half_pair.period.push_back({{{0, 1}}});  // opposite (1, 0) missing
+  EXPECT_THROW((void)ScheduleDraft::from_schedule(half_pair),
+               std::invalid_argument);
+
+  // Regression: the reversed orientation used to be skipped silently
+  // (draft built minus the arc) instead of throwing.
+  protocol::SystolicSchedule reversed_only;
+  reversed_only.n = 4;
+  reversed_only.mode = Mode::kFullDuplex;
+  reversed_only.period.push_back({{{1, 0}}});  // tail > head, no opposite
+  EXPECT_THROW((void)ScheduleDraft::from_schedule(reversed_only),
+               std::invalid_argument);
+}
+
+TEST(Draft, InsertRejectsOccupiedAndMalformedLinks) {
+  ScheduleDraft d(4, Mode::kHalfDuplex, 2);
+  EXPECT_TRUE(d.insert(0, {0, 1}));
+  EXPECT_FALSE(d.insert(0, {1, 2}));   // vertex 1 busy
+  EXPECT_FALSE(d.insert(0, {0, 1}));   // duplicate
+  EXPECT_FALSE(d.insert(0, {2, 2}));   // self-loop
+  EXPECT_FALSE(d.insert(0, {3, 4}));   // out of range
+  EXPECT_TRUE(d.insert(0, {2, 3}));    // disjoint: fine
+  EXPECT_TRUE(d.insert(1, {1, 2}));    // other round: fine
+  EXPECT_EQ(d.total_links(), 3u);
+  expect_consistent(d);
+
+  ScheduleDraft full(4, Mode::kFullDuplex, 1);
+  EXPECT_FALSE(full.insert(0, {2, 1}));  // full-duplex links are tail < head
+  EXPECT_TRUE(full.insert(0, {1, 2}));
+}
+
+TEST(Draft, RemoveSwapsWithLastAndKeepsOccupancy) {
+  ScheduleDraft d(6, Mode::kHalfDuplex, 1);
+  ASSERT_TRUE(d.insert(0, {0, 1}));
+  ASSERT_TRUE(d.insert(0, {2, 3}));
+  ASSERT_TRUE(d.insert(0, {4, 5}));
+  const Arc removed = d.remove(0, 0);
+  EXPECT_EQ(removed, (Arc{0, 1}));
+  EXPECT_EQ(d.total_links(), 2u);
+  expect_consistent(d);
+  // The freed endpoints accept a new link immediately.
+  EXPECT_TRUE(d.insert(0, {1, 0}));
+  expect_consistent(d);
+}
+
+TEST(Draft, RotateShiftsTheStartPhase) {
+  ScheduleDraft d(4, Mode::kHalfDuplex, 3);
+  ASSERT_TRUE(d.insert(0, {0, 1}));
+  ASSERT_TRUE(d.insert(1, {1, 2}));
+  ASSERT_TRUE(d.insert(2, {2, 3}));
+  d.rotate(1);
+  EXPECT_EQ(d.links(0)[0], (Arc{1, 2}));
+  EXPECT_EQ(d.links(2)[0], (Arc{0, 1}));
+  expect_consistent(d);
+}
+
+TEST(Draft, InsertRoundGrowsThePeriod) {
+  // Regression: rounds_.insert with a brace-initialized element used to
+  // resolve to the empty initializer_list overload — the period stayed
+  // put while the occupancy table grew, desyncing the two.
+  ScheduleDraft d(4, Mode::kHalfDuplex, 2);
+  ASSERT_TRUE(d.insert(0, {0, 1}));
+  ASSERT_TRUE(d.insert(1, {2, 3}));
+  d.insert_round(1);
+  ASSERT_EQ(d.period(), 3);
+  EXPECT_TRUE(d.links(1).empty());
+  EXPECT_EQ(d.links(2)[0], (Arc{2, 3}));
+  expect_consistent(d);
+  EXPECT_NO_THROW((void)CompiledSchedule::compile(d.to_schedule()));
+}
+
+TEST(Draft, RemoveRoundReturnsLinksAndRefusesLastRound) {
+  ScheduleDraft d(4, Mode::kHalfDuplex, 2);
+  ASSERT_TRUE(d.insert(0, {0, 1}));
+  ASSERT_TRUE(d.insert(1, {2, 3}));
+  const auto links = d.remove_round(0);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0], (Arc{0, 1}));
+  EXPECT_EQ(d.period(), 1);
+  EXPECT_EQ(d.total_links(), 1u);
+  expect_consistent(d);
+  EXPECT_THROW((void)d.remove_round(0), std::logic_error);
+}
+
+TEST(Draft, RandomizedMoveSequencesAlwaysCompile) {
+  // The draft's whole contract: any reachable draft is a valid schedule.
+  const auto g = topology::de_bruijn(2, 3);
+  for (Mode mode : {Mode::kHalfDuplex, Mode::kFullDuplex}) {
+    std::vector<Arc> pool;
+    if (mode == Mode::kFullDuplex) {
+      for (const auto& [u, v] : g.undirected_edges()) pool.push_back({u, v});
+    } else {
+      pool.assign(g.arcs().begin(), g.arcs().end());
+    }
+    auto draft = ScheduleDraft::from_schedule(
+        protocol::edge_coloring_schedule(g, mode));
+    util::Rng rng(2024);
+    for (int it = 0; it < 3000; ++it) {
+      const auto p = static_cast<std::size_t>(draft.period());
+      switch (rng.uniform_index(6)) {
+        case 0:
+          (void)draft.insert(static_cast<int>(rng.uniform_index(p)),
+                             pool[rng.uniform_index(pool.size())]);
+          break;
+        case 1: {
+          const int r = static_cast<int>(rng.uniform_index(p));
+          if (!draft.links(r).empty())
+            (void)draft.remove(r, rng.uniform_index(draft.links(r).size()));
+          break;
+        }
+        case 2: {
+          const int from = static_cast<int>(rng.uniform_index(p));
+          const int to = static_cast<int>(rng.uniform_index(p));
+          if (from != to && !draft.links(from).empty()) {
+            const Arc link =
+                draft.remove(from, rng.uniform_index(draft.links(from).size()));
+            (void)draft.insert(to, link);
+          }
+          break;
+        }
+        case 3:
+          if (draft.period() > 1)
+            draft.rotate(1 + static_cast<int>(
+                                 rng.uniform_index(p - 1)));
+          break;
+        case 4:
+          if (draft.period() < 24)
+            draft.insert_round(static_cast<int>(rng.uniform_index(p + 1)));
+          break;
+        case 5:
+          if (draft.period() > 1)
+            (void)draft.remove_round(static_cast<int>(rng.uniform_index(p)));
+          break;
+      }
+      if (it % 100 == 0) expect_consistent(draft);
+      ASSERT_NO_THROW(
+          (void)CompiledSchedule::compile(draft.to_schedule(), &g))
+          << "mode " << static_cast<int>(mode) << " iteration " << it;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sysgo::synth

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 
 namespace sysgo::util {
 namespace {
@@ -51,6 +52,32 @@ TEST(Rng, PermutationIsPermutation) {
   auto perm = rng.permutation(50);
   std::sort(perm.begin(), perm.end());
   for (int i = 0; i < 50; ++i) EXPECT_EQ(perm[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, PermutationOfZeroOrNegativeIsEmpty) {
+  Rng rng(5);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  EXPECT_TRUE(rng.permutation(-3).empty());
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), std::invalid_argument);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);  // one-point range stays valid
+}
+
+TEST(Rng, UniformIndexCoversRangeAndRejectsEmpty) {
+  Rng rng(11);
+  EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_index(4));
+  EXPECT_EQ(seen, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Rng, UniformIndexDeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform_index(1000), b.uniform_index(1000));
 }
 
 TEST(Rng, FlipExtremes) {

@@ -5,6 +5,7 @@
 //   sysgo sweep fig5|fig6                 engine-reproduced paper tables
 //   sysgo sweep [grid flags]              parallel scenario sweep (CSV/JSON)
 //   sysgo solve [grid flags]              exact gossip/broadcast optima
+//   sysgo synth [grid flags]              heuristic schedule synthesis
 //   sysgo audit <schedule-file>           certify a lower bound
 //   sysgo simulate <schedule-file> [max]  measured gossip time
 //   sysgo topology <name> <d> <D>         emit a network as sysgo-digraph
@@ -46,9 +47,12 @@ int usage() {
                "              [--periods 3:8,inf] [--threads N] "
                "[--round-threads N]\n"
                "              [--format csv|json] [--max-rounds M] "
-               "[--no-cache]\n"
+               "[--seed S] [--no-cache]\n"
                "      families: bf wbf-dir wbf db-dir db kautz-dir kautz "
-               "cycle complete hypercube ccc se knodel\n"
+               "cycle complete hypercube ccc se knodel rr gnp\n"
+               "      (rr/gnp are seeded random members; --seed picks the "
+               "instance\n"
+               "       and is echoed in the output header)\n"
                "      (default: the paper's seven, d=2, bound at s=3..8;\n"
                "       --round-threads N>1 enables within-round parallel "
                "merges\n"
@@ -62,6 +66,15 @@ int usage() {
                "csv|json] [--no-cache]\n"
                "      exact optima via the symmetry-reduced search (n <= 12;\n"
                "      default: cycle, D=4:9, both modes, both problems)\n"
+               "  sysgo synth [--families f1,..] [--d 2] [--D lo:hi] "
+               "[--modes half,full]\n"
+               "              [--restarts K] [--iterations N] "
+               "[--time-budget MS]\n"
+               "              [--synth-threads N] [--threads N] [--seed S] "
+               "[--max-rounds M]\n"
+               "              [--format csv|json] [--no-cache]\n"
+               "      multi-start annealing schedule synthesis (src/synth/);\n"
+               "      default: db,kautz, d=2, D=3:5, half duplex\n"
                "  sysgo audit <schedule-file>\n"
                "  sysgo simulate <schedule-file> [max-rounds]\n"
                "  sysgo topology <family> <d> <D>\n");
@@ -163,19 +176,26 @@ class OrderedEmitter {
 
 /// Expand, execute and stream a spec: CSV rows or JSON records flushed in
 /// deterministic order as jobs finish (identical output for any thread
-/// count), followed by a cache-stats line on stderr.
+/// count), followed by a cache-stats line on stderr.  The run's effective
+/// seed is echoed so randomized runs (random families, synthesis) can be
+/// replayed: CSV gets a "# seed=N" header comment (the parser skips '#'
+/// lines), JSON — whose document is a bare array — gets a stderr line.
 int stream_spec(const sysgo::engine::ScenarioSpec& spec,
                 sysgo::engine::SweepOptions opts, bool json) {
   namespace engine = sysgo::engine;
   const auto jobs = spec.expand();
   OrderedEmitter emitter;
   if (json) {
+    std::fprintf(stderr, "seed: %llu\n",
+                 static_cast<unsigned long long>(spec.limits.seed));
     std::fputs("[\n", stdout);
     opts.on_record = [&](std::size_t i, const engine::SweepRecord& r) {
       emitter.emit(i, "  " + sysgo::io::sweep_json_record(r) +
                           (i + 1 < jobs.size() ? ",\n" : "\n"));
     };
   } else {
+    std::fprintf(stdout, "# seed=%llu\n",
+                 static_cast<unsigned long long>(spec.limits.seed));
     std::fputs(sysgo::io::sweep_csv_header().c_str(), stdout);
     opts.on_record = [&](std::size_t i, const engine::SweepRecord& r) {
       emitter.emit(i, sysgo::io::sweep_csv_row(r));
@@ -266,6 +286,8 @@ int cmd_sweep(int argc, char** argv) {
       const std::string fmt = value();
       if (fmt == "json") json = true;
       else if (fmt != "csv") throw std::invalid_argument("unknown format: " + fmt);
+    } else if (flag == "--seed") {
+      spec.limits.seed = std::stoull(value());
     } else if (flag == "--no-cache") {
       opts.use_cache = false;
     } else {
@@ -360,6 +382,8 @@ int cmd_solve(int argc, char** argv) {
         if (fmt == "json") json = true;
         else if (fmt != "csv")
           throw std::invalid_argument("unknown format: " + fmt);
+      } else if (flag == "--seed") {
+        spec.limits.seed = std::stoull(value());
       } else if (flag == "--no-cache") {
         opts.use_cache = false;
       } else {
@@ -375,6 +399,95 @@ int cmd_solve(int argc, char** argv) {
   }
   if (spec.dimensions.empty())
     throw std::invalid_argument("solve needs concrete dimensions: pass --D");
+
+  return stream_spec(spec, opts, json);
+}
+
+int cmd_synth(int argc, char** argv) {
+  namespace engine = sysgo::engine;
+  engine::ScenarioSpec spec;
+  spec.families = {sysgo::topology::Family::kDeBruijn,
+                   sysgo::topology::Family::kKautz};
+  spec.degrees = {2};
+  spec.dimensions = {3, 4, 5};
+  spec.tasks = {engine::Task::kSynthesize};
+  engine::SweepOptions opts;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("missing value for " + flag);
+      return argv[++i];
+    };
+    try {
+      if (flag == "--families") {
+        spec.families.clear();
+        for (const auto& tok : split_list(value()))
+          spec.families.push_back(engine::parse_family_token(tok));
+      } else if (flag == "--d") {
+        spec.degrees = parse_int_list(value(), false);
+        for (int d : spec.degrees)
+          if (d < 1 || d > 64)
+            throw std::invalid_argument("--d values must be in [1, 64]");
+      } else if (flag == "--D") {
+        spec.dimensions = parse_int_list(value(), false);
+        for (int D : spec.dimensions)
+          if (D < 1 || D > 30)
+            throw std::invalid_argument("--D values must be in [1, 30]");
+      } else if (flag == "--modes") {
+        spec.modes.clear();
+        for (const auto& tok : split_list(value()))
+          spec.modes.push_back(engine::parse_mode_name(tok));
+      } else if (flag == "--restarts") {
+        spec.limits.synth_restarts = std::stoi(value());
+        if (spec.limits.synth_restarts < 1 ||
+            spec.limits.synth_restarts > 1024)
+          throw std::invalid_argument("--restarts must be in [1, 1024]");
+      } else if (flag == "--iterations") {
+        spec.limits.synth_iterations = std::stoi(value());
+        if (spec.limits.synth_iterations < 0)
+          throw std::invalid_argument("--iterations must be >= 0");
+      } else if (flag == "--time-budget") {
+        spec.limits.synth_time_budget_ms = std::stod(value());
+        if (spec.limits.synth_time_budget_ms < 0.0)
+          throw std::invalid_argument("--time-budget must be >= 0");
+      } else if (flag == "--synth-threads") {
+        const int threads = std::stoi(value());
+        if (threads < 0 || threads > 256)
+          throw std::invalid_argument("--synth-threads must be in [0, 256]");
+        spec.limits.synth_threads = static_cast<unsigned>(threads);
+      } else if (flag == "--threads") {
+        const int threads = std::stoi(value());
+        if (threads < 1 || threads > 256)
+          throw std::invalid_argument("--threads must be in [1, 256]");
+        opts.threads = static_cast<unsigned>(threads);
+      } else if (flag == "--max-rounds") {
+        spec.limits.simulate_max_rounds = std::stoi(value());
+        if (spec.limits.simulate_max_rounds < 1)
+          throw std::invalid_argument("--max-rounds must be >= 1");
+      } else if (flag == "--seed") {
+        spec.limits.seed = std::stoull(value());
+      } else if (flag == "--format") {
+        const std::string fmt = value();
+        if (fmt == "json") json = true;
+        else if (fmt != "csv")
+          throw std::invalid_argument("unknown format: " + fmt);
+      } else if (flag == "--no-cache") {
+        opts.use_cache = false;
+      } else {
+        std::fprintf(stderr, "unknown synth flag: %s\n", flag.c_str());
+        return usage();
+      }
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      if (what.find(flag) == std::string::npos)
+        throw std::invalid_argument("bad value for " + flag + ": " + what);
+      throw;
+    }
+  }
+  if (spec.dimensions.empty())
+    throw std::invalid_argument("synth needs concrete dimensions: pass --D");
 
   return stream_spec(spec, opts, json);
 }
@@ -433,6 +546,7 @@ int main(int argc, char** argv) {
     if (cmd == "table") return cmd_table(argc - 2, argv + 2);
     if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
     if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
+    if (cmd == "synth") return cmd_synth(argc - 2, argv + 2);
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "topology") return cmd_topology(argc - 2, argv + 2);
