@@ -1,0 +1,136 @@
+// Result-store throughput: key construction, appends (one flushed log line
+// per insert) and warm lookups — the store must stay invisible next to the
+// jobs it caches (a single audit job runs for milliseconds; a lookup is
+// sub-microsecond).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/scenario.hpp"
+#include "store/result_store.hpp"
+
+namespace {
+
+using sysgo::engine::ExecutionLimits;
+using sysgo::engine::SweepJob;
+using sysgo::engine::SweepRecord;
+using sysgo::engine::Task;
+using sysgo::protocol::Mode;
+using sysgo::store::ResultStore;
+using sysgo::store::make_store_key;
+using sysgo::topology::Family;
+
+std::vector<SweepJob> grid_jobs(int count) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    // Keys are never instantiated as graphs here, so the grid can be wide:
+    // every job below hashes to a distinct store key.
+    SweepJob job;
+    job.key = {i % 2 == 0 ? Family::kDeBruijn : Family::kKautz, 2 + i % 50,
+               i % 1000, i % 4 < 2 ? Mode::kHalfDuplex : Mode::kFullDuplex};
+    job.task = i % 3 == 0 ? Task::kSimulate
+                          : (i % 3 == 1 ? Task::kAudit : Task::kBound);
+    job.s = job.task == Task::kBound ? 3 + i % 97 : 0;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+SweepRecord record_for(const SweepJob& job) {
+  SweepRecord r;
+  r.key = job.key;
+  r.task = job.task;
+  r.s = job.s;
+  r.n = 1 << 10;
+  r.rounds = 42;
+  r.millis = 1.5;
+  return r;
+}
+
+std::string fresh_store_path(const std::string& name) {
+  const std::string path = "/tmp/sysgo_bench_" + name + ".store";
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  return path;
+}
+
+void BM_MakeStoreKey(benchmark::State& state) {
+  const auto jobs = grid_jobs(256);
+  const ExecutionLimits limits;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto key = make_store_key(jobs[i++ % jobs.size()], limits);
+    benchmark::DoNotOptimize(key.digest);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MakeStoreKey)->Name("store/make_key");
+
+void BM_StoreInsert(benchmark::State& state) {
+  const auto jobs = grid_jobs(static_cast<int>(state.range(0)));
+  const ExecutionLimits limits;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string path = fresh_store_path("insert");
+    state.ResumeTiming();
+    ResultStore store(path);
+    for (const auto& job : jobs)
+      benchmark::DoNotOptimize(
+          store.insert(make_store_key(job, limits), record_for(job)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StoreInsert)
+    ->Name("store/insert")
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StoreLookupWarm(benchmark::State& state) {
+  const auto jobs = grid_jobs(static_cast<int>(state.range(0)));
+  const ExecutionLimits limits;
+  const std::string path = fresh_store_path("lookup");
+  ResultStore store(path);
+  std::vector<sysgo::store::StoreKey> keys;
+  keys.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    keys.push_back(make_store_key(job, limits));
+    store.insert(keys.back(), record_for(job));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto hit = store.lookup(keys[i++ % keys.size()]);
+    benchmark::DoNotOptimize(hit.has_value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreLookupWarm)->Name("store/lookup_warm")->Arg(64)->Arg(4096);
+
+void BM_StoreReopen(benchmark::State& state) {
+  // Load cost of a campaign-sized store (parse + index every log line).
+  const auto jobs = grid_jobs(static_cast<int>(state.range(0)));
+  const ExecutionLimits limits;
+  const std::string path = fresh_store_path("reopen");
+  {
+    ResultStore store(path);
+    for (const auto& job : jobs)
+      store.insert(make_store_key(job, limits), record_for(job));
+  }
+  for (auto _ : state) {
+    ResultStore store(path);
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StoreReopen)
+    ->Name("store/reopen")
+    ->Arg(512)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -49,6 +49,20 @@ std::size_t ScenarioKeyHash::operator()(const ScenarioKey& k) const noexcept {
   return h;
 }
 
+std::vector<SweepJob> shard_jobs(const std::vector<SweepJob>& jobs,
+                                 util::ShardSpec shard) {
+  if (shard.count < 1 || shard.index < 1 || shard.index > shard.count)
+    throw std::invalid_argument("invalid shard spec: " +
+                                std::to_string(shard.index) + "/" +
+                                std::to_string(shard.count));
+  std::vector<SweepJob> out;
+  out.reserve(jobs.size() / static_cast<std::size_t>(shard.count) + 1);
+  for (std::size_t j = static_cast<std::size_t>(shard.index) - 1;
+       j < jobs.size(); j += static_cast<std::size_t>(shard.count))
+    out.push_back(jobs[j]);
+  return out;
+}
+
 std::vector<Family> all_families() {
   return {Family::kButterfly,       Family::kWrappedButterflyDirected,
           Family::kWrappedButterfly, Family::kDeBruijnDirected,

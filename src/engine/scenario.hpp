@@ -15,6 +15,7 @@
 #include "protocol/protocol.hpp"
 #include "topology/random.hpp"
 #include "topology/topology.hpp"
+#include "util/parse.hpp"
 
 namespace sysgo::engine {
 
@@ -115,6 +116,13 @@ struct ScenarioSpec {
 
   [[nodiscard]] std::vector<SweepJob> expand() const;
 };
+
+/// Deterministic round-robin partition of an expanded job list: job j
+/// (0-based expansion order) belongs to shard (j mod shard.count) + 1, so
+/// `count` processes running the same spec with shards 1..count cover the
+/// grid disjointly and their result stores union into the unsharded run.
+[[nodiscard]] std::vector<SweepJob> shard_jobs(const std::vector<SweepJob>& jobs,
+                                               util::ShardSpec shard);
 
 /// The seven families of the paper's tables, in registry order.
 [[nodiscard]] std::vector<topology::Family> all_families();

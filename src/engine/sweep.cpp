@@ -11,6 +11,7 @@
 #include "search/state.hpp"
 #include "separator/separator.hpp"
 #include "simulator/gossip_sim.hpp"
+#include "store/result_store.hpp"
 #include "synth/synthesizer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -252,12 +253,36 @@ SweepRecord SweepRunner::run_job(const SweepJob& job,
   return r;
 }
 
+SweepRecord SweepRunner::run_or_fetch(const SweepJob& job,
+                                      const ExecutionLimits& limits) {
+  if (opts_.store == nullptr) {
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    return run_job(job, limits);
+  }
+  const auto key = store::make_store_key(job, limits);
+  if (opts_.resume) {
+    if (auto hit = opts_.store->lookup(key)) {
+      store_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *hit;
+    }
+  }
+  SweepRecord r = run_job(job, limits);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.store->insert(key, r) == store::InsertOutcome::kConflict)
+    store_conflicts_.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+SweepRunner::RunStats SweepRunner::run_stats() const {
+  return {executed_.load(), store_hits_.load(), store_conflicts_.load()};
+}
+
 std::vector<SweepRecord> SweepRunner::run_jobs(const std::vector<SweepJob>& jobs,
                                                const ExecutionLimits& limits) {
   std::vector<SweepRecord> records(jobs.size());
   run_indexed_with_options(opts_, own_pool_.get(), jobs.size(),
                            [&](std::size_t i) {
-                             records[i] = run_job(jobs[i], limits);
+                             records[i] = run_or_fetch(jobs[i], limits);
                              if (opts_.on_record) opts_.on_record(i, records[i]);
                            });
   return records;

@@ -8,6 +8,7 @@
 // interleaving, so threaded and serial sweeps produce identical output.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -24,6 +25,10 @@
 
 namespace sysgo::util {
 class ThreadPool;
+}
+
+namespace sysgo::store {
+class ResultStore;
 }
 
 namespace sysgo::engine {
@@ -82,8 +87,16 @@ struct SweepOptions {
   /// (k - 1 workers plus the calling thread).
   unsigned threads = 0;
   bool use_cache = true;
+  /// Persistent result store (not owned; must outlive the runner).  When
+  /// set, every finished record is written back under its store key; with
+  /// `resume` also set, the store is consulted BEFORE dispatch and hits
+  /// are returned verbatim — stored wall-clock included, so a warm re-run
+  /// emits byte-identical output without executing a single task.
+  store::ResultStore* store = nullptr;
+  bool resume = false;
   /// Invoked as each job finishes, possibly from worker threads and out of
   /// order; `index` is the job's position in the deterministic record list.
+  /// Store hits fire it too (they are records like any other).
   std::function<void(std::size_t index, const SweepRecord&)> on_record;
 };
 
@@ -103,6 +116,15 @@ class SweepRunner {
     return cache_.stats();
   }
 
+  /// Executed-vs-fetched accounting, accumulated across run/run_jobs calls
+  /// (the CI warm-store check asserts executed == 0 on a resumed run).
+  struct RunStats {
+    std::size_t executed = 0;         // jobs actually computed
+    std::size_t store_hits = 0;       // jobs served from the result store
+    std::size_t store_conflicts = 0;  // write-backs diverging from the store
+  };
+  [[nodiscard]] RunStats run_stats() const;
+
  private:
   /// `seed` feeds random-topology members (deterministic families ignore
   /// it) and is part of the cache key.
@@ -110,10 +132,17 @@ class SweepRunner {
       const ScenarioKey& key, std::uint64_t seed);
   [[nodiscard]] SweepRecord run_job(const SweepJob& job,
                                     const ExecutionLimits& limits);
+  /// run_job behind the result store: consult on resume, write back after
+  /// execution.
+  [[nodiscard]] SweepRecord run_or_fetch(const SweepJob& job,
+                                         const ExecutionLimits& limits);
 
   SweepOptions opts_;
   ArtifactCache cache_;
   std::unique_ptr<util::ThreadPool> own_pool_;
+  std::atomic<std::size_t> executed_{0};
+  std::atomic<std::size_t> store_hits_{0};
+  std::atomic<std::size_t> store_conflicts_{0};
 };
 
 /// A named concrete schedule to validate (measured time + certified audit);

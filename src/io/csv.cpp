@@ -1,6 +1,7 @@
 #include "io/csv.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "core/tables.hpp"
 #include "util/table.hpp"
@@ -11,7 +12,7 @@ std::string csv_line(const std::vector<std::string>& cells) {
   std::ostringstream out;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const std::string& c = cells[i];
-    const bool needs_quotes = c.find_first_of(",\"\n") != std::string::npos;
+    const bool needs_quotes = c.find_first_of(",\"\n\r") != std::string::npos;
     if (needs_quotes) {
       out << '"';
       for (char ch : c) {
@@ -26,6 +27,80 @@ std::string csv_line(const std::vector<std::string>& cells) {
   }
   out << '\n';
   return out.str();
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_record = false;  // saw any content since the last record break
+  std::size_t i = 0;
+  const auto end_cell = [&] {
+    cells.push_back(std::move(cell));
+    cell.clear();
+  };
+  const auto end_record = [&] {
+    end_cell();
+    records.push_back(std::move(cells));
+    cells.clear();
+    in_record = false;
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '"') {
+      if (!cell.empty())
+        throw std::invalid_argument(
+            "CSV: stray quote inside unquoted field at offset " +
+            std::to_string(i));
+      // Quoted field: runs to the next lone quote; "" is a literal quote.
+      ++i;
+      for (;;) {
+        if (i >= text.size())
+          throw std::invalid_argument("CSV: unterminated quoted field");
+        if (text[i] == '"') {
+          if (i + 1 < text.size() && text[i + 1] == '"') {
+            cell.push_back('"');
+            i += 2;
+          } else {
+            ++i;
+            break;
+          }
+        } else {
+          cell.push_back(text[i++]);
+        }
+      }
+      if (i < text.size() && text[i] != ',' && text[i] != '\n' &&
+          text[i] != '\r')
+        throw std::invalid_argument(
+            "CSV: garbage after closing quote at offset " + std::to_string(i));
+      in_record = true;
+    } else if (c == ',') {
+      end_cell();
+      in_record = true;
+      ++i;
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      // A newline after content (or after a comma/quote that opened a
+      // record) ends the record; a blank line between records is skipped.
+      if (in_record || !cells.empty() || !cell.empty()) end_record();
+    } else {
+      cell.push_back(c);
+      in_record = true;
+      ++i;
+    }
+  }
+  if (in_record || !cells.empty() || !cell.empty()) end_record();
+  return records;
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  auto records = parse_csv(line);
+  if (records.empty()) return {};
+  if (records.size() != 1)
+    throw std::invalid_argument("CSV: expected one record, got " +
+                                std::to_string(records.size()));
+  return std::move(records.front());
 }
 
 std::string fig4_csv() {

@@ -1,4 +1,7 @@
-// CSV export of the figure tables — downstream plotting support.
+// CSV export of the figure tables — downstream plotting support — plus the
+// matching RFC-4180 parsers, so every name the writer quotes (network
+// labels like "BF(2,D)" contain commas) round-trips instead of being split
+// on raw commas.
 #pragma once
 
 #include <string>
@@ -8,6 +11,18 @@ namespace sysgo::io {
 
 /// One CSV line from cells (quotes cells containing commas/quotes).
 [[nodiscard]] std::string csv_line(const std::vector<std::string>& cells);
+
+/// Parse an RFC-4180 document produced by csv_line: fields may be quoted,
+/// quoted fields may contain commas, doubled quotes ("") and newlines.
+/// Returns one cell vector per record.  Throws std::invalid_argument on a
+/// stray quote inside an unquoted field or an unterminated quoted field.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    const std::string& text);
+
+/// Parse exactly one CSV record (the inverse of csv_line; a trailing
+/// newline is accepted).  Throws std::invalid_argument on malformed input
+/// or when `line` holds more than one record.
+[[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line);
 
 /// Full CSV documents for each reproduced figure.
 [[nodiscard]] std::string fig4_csv();

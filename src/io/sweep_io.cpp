@@ -7,17 +7,14 @@
 #include <stdexcept>
 
 #include "io/csv.hpp"
+#include "util/parse.hpp"
+#include "util/table.hpp"
 
 namespace sysgo::io {
 
 namespace {
 
-/// Max-precision double rendering so parse(print(x)) == x.
-std::string full_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
+using util::format_full;
 
 const std::vector<std::string> kColumns{
     "family", "d",        "D",            "mode",         "task",
@@ -34,10 +31,10 @@ std::vector<std::string> record_cells(const engine::SweepRecord& r) {
           engine::task_name(r.task),
           std::to_string(r.s),
           std::to_string(r.n),
-          full_double(r.alpha),
-          full_double(r.ell),
-          full_double(r.e),
-          full_double(r.lambda),
+          format_full(r.alpha),
+          format_full(r.ell),
+          format_full(r.e),
+          format_full(r.lambda),
           std::to_string(r.rounds),
           std::to_string(r.diameter),
           std::to_string(r.sep_distance),
@@ -45,63 +42,74 @@ std::vector<std::string> record_cells(const engine::SweepRecord& r) {
           std::to_string(r.states),
           std::to_string(r.group),
           std::to_string(r.budget),
-          full_double(r.objective),
+          format_full(r.objective),
           std::to_string(r.restarts),
           std::to_string(r.accepted),
-          full_double(r.millis)};
+          format_full(r.millis)};
 }
 
 engine::SweepRecord record_from_fields(
     const std::vector<std::pair<std::string, std::string>>& fields) {
   engine::SweepRecord r;
+  const auto what = [](const char* field) {
+    return std::string("sweep field '") + field + "'";
+  };
   for (const auto& [key, value] : fields) {
     if (key == "family") r.key.family = engine::parse_family_token(value);
-    else if (key == "d") r.key.d = std::stoi(value);
-    else if (key == "D") r.key.D = std::stoi(value);
+    else if (key == "d") r.key.d = util::parse_int(value, what("d"));
+    else if (key == "D") r.key.D = util::parse_int(value, what("D"));
     else if (key == "mode") r.key.mode = engine::parse_mode_name(value);
     else if (key == "task") r.task = engine::parse_task_name(value);
-    else if (key == "s") r.s = std::stoi(value);
-    else if (key == "n") r.n = std::stoi(value);
-    else if (key == "alpha") r.alpha = std::stod(value);
-    else if (key == "ell") r.ell = std::stod(value);
-    else if (key == "e") r.e = std::stod(value);
-    else if (key == "lambda") r.lambda = std::stod(value);
-    else if (key == "rounds") r.rounds = std::stoi(value);
-    else if (key == "diameter") r.diameter = std::stoi(value);
-    else if (key == "sep_distance") r.sep_distance = std::stoi(value);
-    else if (key == "sep_min_size") r.sep_min_size = std::stoll(value);
-    else if (key == "states") r.states = std::stoll(value);
-    else if (key == "group") r.group = std::stoll(value);
-    else if (key == "budget") r.budget = std::stoi(value);
-    else if (key == "objective") r.objective = std::stod(value);
-    else if (key == "restarts") r.restarts = std::stoi(value);
-    else if (key == "accepted") r.accepted = std::stoll(value);
-    else if (key == "millis") r.millis = std::stod(value);
+    else if (key == "s") r.s = util::parse_int(value, what("s"));
+    else if (key == "n") r.n = util::parse_int(value, what("n"));
+    else if (key == "alpha") r.alpha = util::parse_double(value, what("alpha"));
+    else if (key == "ell") r.ell = util::parse_double(value, what("ell"));
+    else if (key == "e") r.e = util::parse_double(value, what("e"));
+    else if (key == "lambda") r.lambda = util::parse_double(value, what("lambda"));
+    else if (key == "rounds") r.rounds = util::parse_int(value, what("rounds"));
+    else if (key == "diameter") r.diameter = util::parse_int(value, what("diameter"));
+    else if (key == "sep_distance")
+      r.sep_distance = util::parse_int(value, what("sep_distance"));
+    else if (key == "sep_min_size")
+      r.sep_min_size = util::parse_i64(value, what("sep_min_size"));
+    else if (key == "states") r.states = util::parse_i64(value, what("states"));
+    else if (key == "group") r.group = util::parse_i64(value, what("group"));
+    else if (key == "budget") r.budget = util::parse_int(value, what("budget"));
+    else if (key == "objective")
+      r.objective = util::parse_double(value, what("objective"));
+    else if (key == "restarts")
+      r.restarts = util::parse_int(value, what("restarts"));
+    else if (key == "accepted")
+      r.accepted = util::parse_i64(value, what("accepted"));
+    else if (key == "millis") r.millis = util::parse_double(value, what("millis"));
     else throw std::invalid_argument("unknown sweep field: " + key);
   }
   return r;
 }
 
-std::vector<std::string> split_csv_line(const std::string& line) {
-  std::vector<std::string> cells;
-  std::size_t start = 0;
-  for (;;) {
-    const std::size_t comma = line.find(',', start);
-    if (comma == std::string::npos) {
-      cells.push_back(line.substr(start));
-      return cells;
-    }
-    cells.push_back(line.substr(start, comma - start));
-    start = comma + 1;
-  }
+engine::SweepRecord record_from_cells(const std::vector<std::string>& cells,
+                                      const std::string& line) {
+  if (cells.size() != kColumns.size())
+    throw std::invalid_argument("bad sweep CSV row: " + line);
+  std::vector<std::pair<std::string, std::string>> fields;
+  fields.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    fields.emplace_back(kColumns[i], cells[i]);
+  return record_from_fields(fields);
 }
 
 }  // namespace
 
 std::string sweep_csv_header() { return csv_line(kColumns); }
 
+const std::vector<std::string>& sweep_csv_columns() { return kColumns; }
+
 std::string sweep_csv_row(const engine::SweepRecord& r) {
   return csv_line(record_cells(r));
+}
+
+engine::SweepRecord parse_sweep_csv_record(const std::string& line) {
+  return record_from_cells(parse_csv_line(line), line);
 }
 
 std::string sweep_csv(const std::vector<engine::SweepRecord>& records) {
@@ -120,20 +128,15 @@ std::vector<engine::SweepRecord> parse_sweep_csv(const std::string& text) {
     if (!std::getline(in, line))
       throw std::invalid_argument("empty sweep CSV");
   } while (line.empty() || line[0] == '#');
-  const auto header = split_csv_line(line);
+  // Sweep cells never contain newlines, so RFC-4180 parsing can run
+  // line-by-line; quoted cells (and commas/quotes inside them) round-trip.
+  const auto header = parse_csv_line(line);
   if (header != kColumns)
     throw std::invalid_argument("unexpected sweep CSV header: " + line);
   std::vector<engine::SweepRecord> records;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
-    const auto cells = split_csv_line(line);
-    if (cells.size() != kColumns.size())
-      throw std::invalid_argument("bad sweep CSV row: " + line);
-    std::vector<std::pair<std::string, std::string>> fields;
-    fields.reserve(cells.size());
-    for (std::size_t i = 0; i < cells.size(); ++i)
-      fields.emplace_back(kColumns[i], cells[i]);
-    records.push_back(record_from_fields(fields));
+    records.push_back(record_from_cells(parse_csv_line(line), line));
   }
   return records;
 }

@@ -14,8 +14,15 @@ namespace sysgo::io {
 /// CSV column header line for sweep records.
 [[nodiscard]] std::string sweep_csv_header();
 
+/// Column names in emission order (the cells of sweep_csv_header()).
+[[nodiscard]] const std::vector<std::string>& sweep_csv_columns();
+
 /// One record as a CSV line (ends with '\n').
 [[nodiscard]] std::string sweep_csv_row(const engine::SweepRecord& r);
+
+/// Parse one data row produced by sweep_csv_row (header-less; the result
+/// store's record codec).  Throws std::invalid_argument on malformed input.
+[[nodiscard]] engine::SweepRecord parse_sweep_csv_record(const std::string& line);
 
 /// Full CSV document: header + one line per record.
 [[nodiscard]] std::string sweep_csv(const std::vector<engine::SweepRecord>& records);

@@ -1,0 +1,127 @@
+// On-disk, content-addressed store of sweep results.
+//
+// One record per fully-resolved scenario key — (family, d, D, mode, task,
+// requested period, the task-relevant execution limits, the seed where it
+// matters, and a code-version salt) — addressed by the FNV-1a digest of the
+// key's canonical string.  The file is a human-greppable append-only log
+// (one tab-separated line per record: digest, canonical key, the sweep CSV
+// row), guarded by an advisory exclusive lock; inserts append + flush a
+// fully-formed line, and compact()/merge tooling rewrite via atomic rename,
+// so a crash at any point leaves a loadable store (a torn final line is
+// dropped on load).
+//
+// The SweepRunner consults the store before dispatching a job (resume mode)
+// and writes back on completion, turning repeated and distributed campaigns
+// into cache hits: a warm re-run executes zero tasks yet emits byte-
+// identical output (stored wall-clock included), and shard stores produced
+// by disjoint `--shard i/m` runs union into the unsharded result via
+// merge_from.  See src/store/README.md for the key-hashing and
+// version-salt invalidation rules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/scenario.hpp"
+
+namespace sysgo::util {
+class FileLock;
+}
+
+namespace sysgo::store {
+
+/// Code-version salt baked into every canonical key.  Bump it whenever a
+/// task's semantics or the record layout change: old records then miss
+/// (and are reaped by compact()) instead of being served as stale results.
+inline constexpr int kCodeVersionSalt = 1;
+
+/// FNV-1a 64-bit hash (the content address of a key's canonical string).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+/// Fully-resolved identity of one executed job: the canonical key string
+/// plus its digest.  Records are looked up by digest and verified against
+/// the full string, so digest collisions cannot alias results.
+struct StoreKey {
+  std::string text;
+  std::uint64_t digest = 0;
+};
+
+/// Canonical key for `job` under `limits`.  Only the limit fields that can
+/// change the job's *result* are folded in (e.g. solver state budgets, but
+/// not thread counts), and the seed only when it matters (random-topology
+/// families; synthesis restart streams) — so a deterministic record keyed
+/// under one seed is reused under every other.
+[[nodiscard]] StoreKey make_store_key(const engine::SweepJob& job,
+                                      const engine::ExecutionLimits& limits);
+
+enum class InsertOutcome {
+  kInserted,   // new key, appended to the log
+  kDuplicate,  // key present with the same result (modulo wall-clock)
+  kConflict,   // key present with a DIFFERENT result; store left unchanged
+};
+
+struct MergeStats {
+  std::size_t inserted = 0;
+  std::size_t duplicates = 0;
+  /// Canonical keys whose incoming result diverges from the stored one.
+  std::vector<std::string> conflicts;
+};
+
+class ResultStore {
+ public:
+  /// Open `path`, creating an empty store if absent, and take the
+  /// exclusive advisory lock (throws if another process holds it, or if
+  /// the file is not a sysgo store / contains conflicting records).
+  explicit ResultStore(const std::string& path);
+  ~ResultStore();
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// The stored record for `key`, if any.  Thread-safe.
+  [[nodiscard]] std::optional<engine::SweepRecord> lookup(
+      const StoreKey& key) const;
+
+  /// Record `key` -> `record`.  Appends and flushes one log line on
+  /// kInserted; the store is untouched on kDuplicate/kConflict (the first
+  /// write wins, keeping warm re-runs byte-stable).  Thread-safe.
+  InsertOutcome insert(const StoreKey& key, const engine::SweepRecord& record);
+
+  /// Union `other` into this store (in other's record order).  Conflicting
+  /// keys keep this store's record and are reported in the stats.
+  MergeStats merge_from(const ResultStore& other);
+
+  /// Rewrite the log atomically: records sorted by canonical key, one line
+  /// per key.  Deterministic file bytes for any insertion order.
+  void compact();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// All records in file (insertion) order; for merge tooling and stats.
+  [[nodiscard]] std::vector<engine::SweepRecord> records() const;
+
+ private:
+  struct Row {
+    StoreKey key;
+    engine::SweepRecord record;
+  };
+
+  void load();
+  [[nodiscard]] const Row* find_locked(const StoreKey& key) const;
+  void append_locked(const Row& row);
+  [[nodiscard]] std::string log_line(const Row& row) const;
+
+  std::string path_;
+  std::unique_ptr<util::FileLock> lock_;
+  mutable std::mutex mutex_;
+  std::vector<Row> rows_;  // file order
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_;
+};
+
+}  // namespace sysgo::store

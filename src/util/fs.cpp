@@ -1,0 +1,80 @@
+#include "util/fs.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define SYSGO_HAVE_POSIX_FS 1
+#endif
+
+namespace sysgo::util {
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+#ifdef SYSGO_HAVE_POSIX_FS
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+#else
+  const std::string tmp = path + ".tmp";
+#endif
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write " + tmp);
+    out << content;
+    out.flush();
+    if (!out) throw std::runtime_error("short write to " + tmp);
+  }
+#ifdef SYSGO_HAVE_POSIX_FS
+  // Flush file data before the rename so the new name never points at an
+  // unwritten file after a crash.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
+  }
+}
+
+FileLock::FileLock(const std::string& path) {
+#ifdef SYSGO_HAVE_POSIX_FS
+  fd_ = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd_ < 0) throw std::runtime_error("cannot open lock file " + path);
+  if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("store is locked by another process: " + path);
+  }
+#else
+  (void)path;
+#endif
+}
+
+FileLock::~FileLock() {
+#ifdef SYSGO_HAVE_POSIX_FS
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+#endif
+}
+
+}  // namespace sysgo::util

@@ -1,0 +1,37 @@
+// Small filesystem helpers for the persistent result store: whole-file
+// reads, crash-safe whole-file writes (temp file + atomic rename), and an
+// advisory exclusive file lock so two processes never append to the same
+// store.
+#pragma once
+
+#include <string>
+
+namespace sysgo::util {
+
+/// Read a whole file into a string.  Throws std::runtime_error when the
+/// file cannot be opened.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+[[nodiscard]] bool file_exists(const std::string& path);
+
+/// Write `content` to `path` atomically: the bytes land in a temp file in
+/// the same directory, are flushed to disk, and the temp file is renamed
+/// over `path` — a crash mid-write leaves either the old file or the new
+/// one, never a torn mix.  Throws std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Advisory exclusive lock on `path` (flock on POSIX; a no-op elsewhere).
+/// Non-blocking: the constructor throws std::runtime_error when another
+/// process already holds the lock.  Released on destruction.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path);
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace sysgo::util

@@ -42,4 +42,10 @@ std::string format_fixed(double v, int digits) {
   return buf;
 }
 
+std::string format_full(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
 }  // namespace sysgo::util

@@ -33,4 +33,9 @@ class Table {
 /// Format v with exactly `digits` decimal places.
 [[nodiscard]] std::string format_fixed(double v, int digits);
 
+/// Max-precision rendering ("%.17g") so parse(format_full(x)) == x; the
+/// shared formatter of the sweep CSV/JSON codecs and store key
+/// fingerprints (which must never diverge from each other).
+[[nodiscard]] std::string format_full(double v);
+
 }  // namespace sysgo::util

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 namespace sysgo::io {
 namespace {
@@ -73,6 +74,46 @@ TEST(Csv, EveryRowHasSameFieldCount) {
 TEST(Csv, NetworkNamesAreQuoted) {
   // "BF(2,D)" contains a comma and must be quoted.
   EXPECT_NE(fig5_csv().find("\"BF(2,D)\""), std::string::npos);
+}
+
+TEST(Csv, HostileNamesRoundTrip) {
+  // Regression: rows used to be split on raw commas, so any quoted name
+  // containing a comma or quote was corrupted on the way back in.
+  const std::vector<std::vector<std::string>> records = {
+      {"DB(2,4)", "plain", ""},
+      {"say \"hi\"", "a,b,c", "\"\""},
+      {"comma, quote \" and both \",\"", " leading and trailing ", ","},
+      {"multi\nline name", "tab\tinside", "trailing quote\""},
+      {"carriage\rreturn", "crlf\r\npair", "ok"},
+  };
+  std::string text;
+  for (const auto& cells : records) text += csv_line(cells);
+  EXPECT_EQ(parse_csv(text), records);
+}
+
+TEST(Csv, ParseLineIsTheInverseOfCsvLine) {
+  const std::vector<std::string> cells{"BF(2,D)", "2", "0.5", "e_s3"};
+  EXPECT_EQ(parse_csv_line(csv_line(cells)), cells);
+  // Quoting is optional on the way in: both spellings parse identically.
+  EXPECT_EQ(parse_csv_line("\"a\",b,\"c,d\""),
+            (std::vector<std::string>{"a", "b", "c,d"}));
+}
+
+TEST(Csv, FigureTablesRoundTripThroughTheParser) {
+  for (const auto& csv : {fig4_csv(), fig5_csv(), fig6_csv(), fig8_csv()}) {
+    const auto records = parse_csv(csv);
+    ASSERT_GT(records.size(), 1u);
+    std::string rewritten;
+    for (const auto& cells : records) rewritten += csv_line(cells);
+    EXPECT_EQ(rewritten, csv);
+  }
+}
+
+TEST(Csv, MalformedQuotingThrows) {
+  EXPECT_THROW((void)parse_csv("\"unterminated\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_csv("a\"b,c\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_csv("\"a\"b,c\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_csv_line("a,b\nc,d\n"), std::invalid_argument);
 }
 
 }  // namespace

@@ -6,16 +6,22 @@
 //   sysgo sweep [grid flags]              parallel scenario sweep (CSV/JSON)
 //   sysgo solve [grid flags]              exact gossip/broadcast optima
 //   sysgo synth [grid flags]              heuristic schedule synthesis
+//   sysgo store merge|stats|compact       persistent result-store tooling
 //   sysgo audit <schedule-file>           certify a lower bound
 //   sysgo simulate <schedule-file> [max]  measured gossip time
 //   sysgo topology <name> <d> <D>         emit a network as sysgo-digraph
 //
 // Schedule files use the io/protocol_text format ("sysgo-schedule v1").
+// All numeric flags go through util/parse: garbage ("--threads 4x"),
+// overflow, and zero/negative values are rejected at parse time with the
+// offending flag and value named, never silently accepted (the old
+// std::atoi paths) or reported as a bare "stoi" (the old std::stoi paths).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -31,7 +37,10 @@
 #include "io/protocol_text.hpp"
 #include "io/sweep_io.hpp"
 #include "simulator/gossip_sim.hpp"
+#include "store/result_store.hpp"
 #include "topology/topology.hpp"
+#include "util/fs.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -48,6 +57,7 @@ int usage() {
                "[--round-threads N]\n"
                "              [--format csv|json] [--max-rounds M] "
                "[--seed S] [--no-cache]\n"
+               "              [--store PATH] [--resume] [--shard i/m]\n"
                "      families: bf wbf-dir wbf db-dir db kautz-dir kautz "
                "cycle complete hypercube ccc se knodel rr gnp\n"
                "      (rr/gnp are seeded random members; --seed picks the "
@@ -58,12 +68,19 @@ int usage() {
                "merges\n"
                "       on the process-wide pool — results are identical "
                "for any N)\n"
+               "      --store PATH   write finished records to a persistent "
+               "result store\n"
+               "      --resume       skip records already in the store "
+               "(byte-identical output)\n"
+               "      --shard i/m    run shard i of m (disjoint round-robin "
+               "partition)\n"
                "  sysgo solve [--families f1,..] [--d 2] [--D lo:hi] "
                "[--modes half,full]\n"
                "              [--problems gossip,broadcast] [--threads N] "
                "[--solver-threads N]\n"
                "              [--max-rounds M] [--max-states S] [--format "
                "csv|json] [--no-cache]\n"
+               "              [--store PATH] [--resume] [--shard i/m]\n"
                "      exact optima via the symmetry-reduced search (n <= 12;\n"
                "      default: cycle, D=4:9, both modes, both problems)\n"
                "  sysgo synth [--families f1,..] [--d 2] [--D lo:hi] "
@@ -73,8 +90,15 @@ int usage() {
                "              [--synth-threads N] [--threads N] [--seed S] "
                "[--max-rounds M]\n"
                "              [--format csv|json] [--no-cache]\n"
+               "              [--store PATH] [--resume] [--shard i/m]\n"
                "      multi-start annealing schedule synthesis (src/synth/);\n"
                "      default: db,kautz, d=2, D=3:5, half duplex\n"
+               "  sysgo store merge --out OUT IN1 [IN2 ...]\n"
+               "      union shard stores into OUT; conflicting records for "
+               "the same key\n"
+               "      are reported and fail the merge\n"
+               "  sysgo store stats <PATH>\n"
+               "  sysgo store compact <PATH>\n"
                "  sysgo audit <schedule-file>\n"
                "  sysgo simulate <schedule-file> [max-rounds]\n"
                "  sysgo topology <family> <d> <D>\n");
@@ -89,10 +113,25 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
+/// Checked parse of a scalar numeric flag, range-validated against the
+/// util::cli_flag_range table.
+int flag_int(const std::string& flag, const std::string& value) {
+  if (const auto range = sysgo::util::cli_flag_range(flag))
+    return sysgo::util::parse_int_in(value, flag, *range);
+  return sysgo::util::parse_int(value, flag);
+}
+
+long long flag_i64(const std::string& flag, const std::string& value) {
+  if (const auto range = sysgo::util::cli_flag_range(flag))
+    return sysgo::util::parse_i64_in(value, flag, *range);
+  return sysgo::util::parse_i64(value, flag);
+}
+
 int cmd_bound(int argc, char** argv) {
   if (argc < 1) return usage();
-  const int s = std::strcmp(argv[0], "inf") == 0 ? sysgo::core::kUnboundedPeriod
-                                                 : std::atoi(argv[0]);
+  const int s = std::strcmp(argv[0], "inf") == 0
+                    ? sysgo::core::kUnboundedPeriod
+                    : sysgo::util::parse_int_in(argv[0], "<s>", {3, 1 << 30});
   const auto duplex = (argc >= 2 && std::strcmp(argv[1], "full") == 0)
                           ? sysgo::core::Duplex::kFull
                           : sysgo::core::Duplex::kHalf;
@@ -134,7 +173,8 @@ std::vector<std::string> split_list(const std::string& arg) {
   return out;
 }
 
-std::vector<int> parse_int_list(const std::string& arg, bool allow_inf) {
+std::vector<int> parse_int_list(const std::string& arg, const std::string& flag,
+                                bool allow_inf) {
   std::vector<int> out;
   for (const std::string& tok : split_list(arg)) {
     if (allow_inf && tok == "inf") {
@@ -143,11 +183,11 @@ std::vector<int> parse_int_list(const std::string& arg, bool allow_inf) {
     }
     const std::size_t colon = tok.find(':');
     if (colon != std::string::npos) {
-      const int lo = std::stoi(tok.substr(0, colon));
-      const int hi = std::stoi(tok.substr(colon + 1));
+      const int lo = sysgo::util::parse_int(tok.substr(0, colon), flag);
+      const int hi = sysgo::util::parse_int(tok.substr(colon + 1), flag);
       for (int v = lo; v <= hi; ++v) out.push_back(v);
     } else {
-      out.push_back(std::stoi(tok));
+      out.push_back(sysgo::util::parse_int(tok, flag));
     }
   }
   return out;
@@ -174,18 +214,38 @@ class OrderedEmitter {
   std::size_t next_ = 0;
 };
 
-/// Expand, execute and stream a spec: CSV rows or JSON records flushed in
-/// deterministic order as jobs finish (identical output for any thread
-/// count), followed by a cache-stats line on stderr.  The run's effective
-/// seed is echoed so randomized runs (random families, synthesis) can be
-/// replayed: CSV gets a "# seed=N" header comment (the parser skips '#'
-/// lines), JSON — whose document is a bare array — gets a stderr line.
+/// Output/persistence configuration shared by sweep/solve/synth.
+struct StreamConfig {
+  bool json = false;
+  std::string store_path;  // --store
+  bool resume = false;     // --resume (requires --store)
+  sysgo::util::ShardSpec shard{};  // --shard i/m (1/1 = whole grid)
+};
+
+/// Expand, shard, execute and stream a spec: CSV rows or JSON records
+/// flushed in deterministic order as jobs finish (identical output for any
+/// thread count), followed by cache/store stats on stderr.  The run's
+/// effective seed is echoed so randomized runs (random families, synthesis)
+/// can be replayed: CSV gets a "# seed=N" header comment (the parser skips
+/// '#' lines), JSON — whose document is a bare array — gets a stderr line.
+/// With a store attached, finished records are written back; with --resume,
+/// present records are emitted from the store (stored wall-clock included,
+/// so a warm re-run is byte-identical) without executing anything.
 int stream_spec(const sysgo::engine::ScenarioSpec& spec,
-                sysgo::engine::SweepOptions opts, bool json) {
+                sysgo::engine::SweepOptions opts, const StreamConfig& cfg) {
   namespace engine = sysgo::engine;
-  const auto jobs = spec.expand();
+  if (cfg.resume && cfg.store_path.empty())
+    throw std::invalid_argument("--resume requires --store");
+  auto jobs = spec.expand();
+  if (cfg.shard.count > 1) jobs = engine::shard_jobs(jobs, cfg.shard);
+  std::unique_ptr<sysgo::store::ResultStore> store;
+  if (!cfg.store_path.empty()) {
+    store = std::make_unique<sysgo::store::ResultStore>(cfg.store_path);
+    opts.store = store.get();
+    opts.resume = cfg.resume;
+  }
   OrderedEmitter emitter;
-  if (json) {
+  if (cfg.json) {
     std::fprintf(stderr, "seed: %llu\n",
                  static_cast<unsigned long long>(spec.limits.seed));
     std::fputs("[\n", stdout);
@@ -203,10 +263,19 @@ int stream_spec(const sysgo::engine::ScenarioSpec& spec,
   }
   engine::SweepRunner runner(opts);
   const auto records = runner.run_jobs(jobs, spec.limits);
-  if (json) std::fputs("]\n", stdout);
+  if (cfg.json) std::fputs("]\n", stdout);
   const auto stats = runner.cache_stats();
   std::fprintf(stderr, "sweep: %zu records, cache %zu hits / %zu misses\n",
                records.size(), stats.hits, stats.misses);
+  if (store != nullptr) {
+    const auto rs = runner.run_stats();
+    std::fprintf(stderr,
+                 "store: hits=%zu executed=%zu conflicts=%zu "
+                 "(%zu records in %s)\n",
+                 rs.store_hits, rs.executed, rs.store_conflicts, store->size(),
+                 store->path().c_str());
+    if (rs.store_conflicts > 0) return 1;
+  }
   return 0;
 }
 
@@ -228,7 +297,7 @@ int cmd_sweep(int argc, char** argv) {
   spec.periods = {3, 4, 5, 6, 7, 8};
   spec.tasks = {engine::Task::kBound};
   engine::SweepOptions opts;
-  bool json = false;
+  StreamConfig cfg;
   for (int i = 0; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto value = [&]() -> std::string {
@@ -242,12 +311,12 @@ int cmd_sweep(int argc, char** argv) {
       for (const auto& tok : split_list(value()))
         spec.families.push_back(engine::parse_family_token(tok));
     } else if (flag == "--d") {
-      spec.degrees = parse_int_list(value(), false);
+      spec.degrees = parse_int_list(value(), flag, false);
       for (int d : spec.degrees)
         if (d < 2 || d > 64)
           throw std::invalid_argument("--d values must be in [2, 64]");
     } else if (flag == "--D") {
-      spec.dimensions = parse_int_list(value(), false);
+      spec.dimensions = parse_int_list(value(), flag, false);
       for (int D : spec.dimensions)
         if (D < 1 || D > 30)
           throw std::invalid_argument("--D values must be in [1, 30]");
@@ -260,42 +329,41 @@ int cmd_sweep(int argc, char** argv) {
       for (const auto& tok : split_list(value()))
         spec.tasks.push_back(engine::parse_task_name(tok));
     } else if (flag == "--periods") {
-      spec.periods = parse_int_list(value(), true);
+      spec.periods = parse_int_list(value(), flag, true);
       for (int s : spec.periods)
         if (s != sysgo::core::kUnboundedPeriod && s < 3)
           throw std::invalid_argument("--periods values must be >= 3 or inf");
     } else if (flag == "--threads") {
-      const int threads = std::stoi(value());
-      if (threads < 1 || threads > 256)
-        throw std::invalid_argument("--threads must be in [1, 256]");
-      opts.threads = static_cast<unsigned>(threads);
+      opts.threads = static_cast<unsigned>(flag_int(flag, value()));
     } else if (flag == "--round-threads") {
       // A toggle, not a degree: any N > 1 turns on the simulator's
       // within-round parallel merges, which run on the process-wide pool
       // at its lane count (results are identical for any value; see
       // ExecutionLimits::simulate_parallel_rounds).
-      const int threads = std::stoi(value());
-      if (threads < 1 || threads > 256)
-        throw std::invalid_argument("--round-threads must be in [1, 256]");
-      spec.limits.simulate_parallel_rounds = threads > 1;
+      spec.limits.simulate_parallel_rounds = flag_int(flag, value()) > 1;
     } else if (flag == "--max-rounds") {
-      spec.limits.simulate_max_rounds = std::stoi(value());
-      if (spec.limits.simulate_max_rounds < 1)
-        throw std::invalid_argument("--max-rounds must be >= 1");
+      spec.limits.simulate_max_rounds = flag_int(flag, value());
     } else if (flag == "--format") {
       const std::string fmt = value();
-      if (fmt == "json") json = true;
+      if (fmt == "json") cfg.json = true;
       else if (fmt != "csv") throw std::invalid_argument("unknown format: " + fmt);
     } else if (flag == "--seed") {
-      spec.limits.seed = std::stoull(value());
+      spec.limits.seed = sysgo::util::parse_u64(value(), flag);
     } else if (flag == "--no-cache") {
       opts.use_cache = false;
+    } else if (flag == "--store") {
+      cfg.store_path = value();
+    } else if (flag == "--resume") {
+      cfg.resume = true;
+    } else if (flag == "--shard") {
+      cfg.shard = sysgo::util::parse_shard(value());
     } else {
       std::fprintf(stderr, "unknown sweep flag: %s\n", flag.c_str());
       return usage();
     }
     } catch (const std::invalid_argument& e) {
-      // std::stoi reports bare "stoi"; keep the offending flag visible.
+      // The checked parsers name the flag already; wrap only messages that
+      // do not, so every error reports the offending flag.
       const std::string what = e.what();
       if (what.find(flag) == std::string::npos)
         throw std::invalid_argument("bad value for " + flag + ": " + what);
@@ -310,7 +378,7 @@ int cmd_sweep(int argc, char** argv) {
                                     "' needs concrete dimensions: pass --D");
   }
 
-  return stream_spec(spec, opts, json);
+  return stream_spec(spec, opts, cfg);
 }
 
 int cmd_solve(int argc, char** argv) {
@@ -323,7 +391,7 @@ int cmd_solve(int argc, char** argv) {
                 sysgo::protocol::Mode::kFullDuplex};
   spec.tasks = {engine::Task::kSolveGossip, engine::Task::kSolveBroadcast};
   engine::SweepOptions opts;
-  bool json = false;
+  StreamConfig cfg;
   for (int i = 0; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto value = [&]() -> std::string {
@@ -337,12 +405,12 @@ int cmd_solve(int argc, char** argv) {
         for (const auto& tok : split_list(value()))
           spec.families.push_back(engine::parse_family_token(tok));
       } else if (flag == "--d") {
-        spec.degrees = parse_int_list(value(), false);
+        spec.degrees = parse_int_list(value(), flag, false);
         for (int d : spec.degrees)
           if (d < 1 || d > 64)  // d = 1 is a valid Knödel delta
             throw std::invalid_argument("--d values must be in [1, 64]");
       } else if (flag == "--D") {
-        spec.dimensions = parse_int_list(value(), false);
+        spec.dimensions = parse_int_list(value(), flag, false);
         for (int D : spec.dimensions)
           if (D < 1 || D > 30)
             throw std::invalid_argument("--D values must be in [1, 30]");
@@ -359,33 +427,30 @@ int cmd_solve(int argc, char** argv) {
           else throw std::invalid_argument("unknown problem: " + tok);
         }
       } else if (flag == "--threads") {
-        const int threads = std::stoi(value());
-        if (threads < 1 || threads > 256)
-          throw std::invalid_argument("--threads must be in [1, 256]");
-        opts.threads = static_cast<unsigned>(threads);
+        opts.threads = static_cast<unsigned>(flag_int(flag, value()));
       } else if (flag == "--solver-threads") {
-        const int threads = std::stoi(value());
-        if (threads < 1 || threads > 256)
-          throw std::invalid_argument("--solver-threads must be in [1, 256]");
-        spec.limits.solve_threads = static_cast<unsigned>(threads);
+        spec.limits.solve_threads =
+            static_cast<unsigned>(flag_int(flag, value()));
       } else if (flag == "--max-rounds") {
-        spec.limits.solve_max_rounds = std::stoi(value());
-        if (spec.limits.solve_max_rounds < 1)
-          throw std::invalid_argument("--max-rounds must be >= 1");
+        spec.limits.solve_max_rounds = flag_int(flag, value());
       } else if (flag == "--max-states") {
-        const long long states = std::stoll(value());
-        if (states < 1)
-          throw std::invalid_argument("--max-states must be >= 1");
-        spec.limits.solve_max_states = static_cast<std::size_t>(states);
+        spec.limits.solve_max_states =
+            static_cast<std::size_t>(flag_i64(flag, value()));
       } else if (flag == "--format") {
         const std::string fmt = value();
-        if (fmt == "json") json = true;
+        if (fmt == "json") cfg.json = true;
         else if (fmt != "csv")
           throw std::invalid_argument("unknown format: " + fmt);
       } else if (flag == "--seed") {
-        spec.limits.seed = std::stoull(value());
+        spec.limits.seed = sysgo::util::parse_u64(value(), flag);
       } else if (flag == "--no-cache") {
         opts.use_cache = false;
+      } else if (flag == "--store") {
+        cfg.store_path = value();
+      } else if (flag == "--resume") {
+        cfg.resume = true;
+      } else if (flag == "--shard") {
+        cfg.shard = sysgo::util::parse_shard(value());
       } else {
         std::fprintf(stderr, "unknown solve flag: %s\n", flag.c_str());
         return usage();
@@ -400,7 +465,7 @@ int cmd_solve(int argc, char** argv) {
   if (spec.dimensions.empty())
     throw std::invalid_argument("solve needs concrete dimensions: pass --D");
 
-  return stream_spec(spec, opts, json);
+  return stream_spec(spec, opts, cfg);
 }
 
 int cmd_synth(int argc, char** argv) {
@@ -412,7 +477,7 @@ int cmd_synth(int argc, char** argv) {
   spec.dimensions = {3, 4, 5};
   spec.tasks = {engine::Task::kSynthesize};
   engine::SweepOptions opts;
-  bool json = false;
+  StreamConfig cfg;
   for (int i = 0; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto value = [&]() -> std::string {
@@ -426,12 +491,12 @@ int cmd_synth(int argc, char** argv) {
         for (const auto& tok : split_list(value()))
           spec.families.push_back(engine::parse_family_token(tok));
       } else if (flag == "--d") {
-        spec.degrees = parse_int_list(value(), false);
+        spec.degrees = parse_int_list(value(), flag, false);
         for (int d : spec.degrees)
           if (d < 1 || d > 64)
             throw std::invalid_argument("--d values must be in [1, 64]");
       } else if (flag == "--D") {
-        spec.dimensions = parse_int_list(value(), false);
+        spec.dimensions = parse_int_list(value(), flag, false);
         for (int D : spec.dimensions)
           if (D < 1 || D > 30)
             throw std::invalid_argument("--D values must be in [1, 30]");
@@ -440,41 +505,36 @@ int cmd_synth(int argc, char** argv) {
         for (const auto& tok : split_list(value()))
           spec.modes.push_back(engine::parse_mode_name(tok));
       } else if (flag == "--restarts") {
-        spec.limits.synth_restarts = std::stoi(value());
-        if (spec.limits.synth_restarts < 1 ||
-            spec.limits.synth_restarts > 1024)
-          throw std::invalid_argument("--restarts must be in [1, 1024]");
+        spec.limits.synth_restarts = flag_int(flag, value());
       } else if (flag == "--iterations") {
-        spec.limits.synth_iterations = std::stoi(value());
-        if (spec.limits.synth_iterations < 0)
-          throw std::invalid_argument("--iterations must be >= 0");
+        spec.limits.synth_iterations = flag_int(flag, value());
       } else if (flag == "--time-budget") {
-        spec.limits.synth_time_budget_ms = std::stod(value());
+        spec.limits.synth_time_budget_ms =
+            sysgo::util::parse_double(value(), flag);
         if (spec.limits.synth_time_budget_ms < 0.0)
           throw std::invalid_argument("--time-budget must be >= 0");
       } else if (flag == "--synth-threads") {
-        const int threads = std::stoi(value());
-        if (threads < 0 || threads > 256)
-          throw std::invalid_argument("--synth-threads must be in [0, 256]");
-        spec.limits.synth_threads = static_cast<unsigned>(threads);
+        spec.limits.synth_threads =
+            static_cast<unsigned>(flag_int(flag, value()));
       } else if (flag == "--threads") {
-        const int threads = std::stoi(value());
-        if (threads < 1 || threads > 256)
-          throw std::invalid_argument("--threads must be in [1, 256]");
-        opts.threads = static_cast<unsigned>(threads);
+        opts.threads = static_cast<unsigned>(flag_int(flag, value()));
       } else if (flag == "--max-rounds") {
-        spec.limits.simulate_max_rounds = std::stoi(value());
-        if (spec.limits.simulate_max_rounds < 1)
-          throw std::invalid_argument("--max-rounds must be >= 1");
+        spec.limits.simulate_max_rounds = flag_int(flag, value());
       } else if (flag == "--seed") {
-        spec.limits.seed = std::stoull(value());
+        spec.limits.seed = sysgo::util::parse_u64(value(), flag);
       } else if (flag == "--format") {
         const std::string fmt = value();
-        if (fmt == "json") json = true;
+        if (fmt == "json") cfg.json = true;
         else if (fmt != "csv")
           throw std::invalid_argument("unknown format: " + fmt);
       } else if (flag == "--no-cache") {
         opts.use_cache = false;
+      } else if (flag == "--store") {
+        cfg.store_path = value();
+      } else if (flag == "--resume") {
+        cfg.resume = true;
+      } else if (flag == "--shard") {
+        cfg.shard = sysgo::util::parse_shard(value());
       } else {
         std::fprintf(stderr, "unknown synth flag: %s\n", flag.c_str());
         return usage();
@@ -489,7 +549,72 @@ int cmd_synth(int argc, char** argv) {
   if (spec.dimensions.empty())
     throw std::invalid_argument("synth needs concrete dimensions: pass --D");
 
-  return stream_spec(spec, opts, json);
+  return stream_spec(spec, opts, cfg);
+}
+
+// --------------------------------------------------------------- store
+
+int cmd_store(int argc, char** argv) {
+  namespace store = sysgo::store;
+  // ResultStore creates missing files (the right behavior under --store);
+  // the store tooling instead fails loudly on a typo'd path — silently
+  // merging a nonexistent shard would drop its records from the campaign.
+  const auto require_exists = [](const std::string& path) {
+    if (!sysgo::util::file_exists(path))
+      throw std::runtime_error("no such store: " + path);
+  };
+  if (argc < 1) return usage();
+  const std::string verb = argv[0];
+  if (verb == "stats") {
+    if (argc != 2) return usage();
+    require_exists(argv[1]);
+    store::ResultStore s(argv[1]);
+    std::printf("store: %zu records in %s\n", s.size(), s.path().c_str());
+    return 0;
+  }
+  if (verb == "compact") {
+    if (argc != 2) return usage();
+    require_exists(argv[1]);
+    store::ResultStore s(argv[1]);
+    s.compact();
+    std::printf("store: compacted %zu records in %s\n", s.size(),
+                s.path().c_str());
+    return 0;
+  }
+  if (verb == "merge") {
+    std::string out_path;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--out") {
+        if (i + 1 >= argc)
+          throw std::invalid_argument("missing value for --out");
+        out_path = argv[++i];
+      } else {
+        inputs.push_back(arg);
+      }
+    }
+    if (out_path.empty() || inputs.empty()) return usage();
+    for (const std::string& in_path : inputs) require_exists(in_path);
+    store::ResultStore out(out_path);
+    std::size_t conflicts = 0;
+    for (const std::string& in_path : inputs) {
+      const store::ResultStore in(in_path);
+      const auto stats = out.merge_from(in);
+      std::fprintf(stderr,
+                   "merge %s: %zu inserted, %zu duplicates, %zu conflicts\n",
+                   in_path.c_str(), stats.inserted, stats.duplicates,
+                   stats.conflicts.size());
+      for (const std::string& key : stats.conflicts)
+        std::fprintf(stderr, "  conflict: %s\n", key.c_str());
+      conflicts += stats.conflicts.size();
+    }
+    // Deterministic merged bytes for any input order.
+    out.compact();
+    std::printf("store: %zu records in %s\n", out.size(), out.path().c_str());
+    return conflicts == 0 ? 0 : 1;
+  }
+  return usage();
 }
 
 int cmd_audit(int argc, char** argv) {
@@ -511,7 +636,10 @@ int cmd_audit(int argc, char** argv) {
 int cmd_simulate(int argc, char** argv) {
   if (argc < 1) return usage();
   const auto sched = sysgo::io::parse_schedule(read_file(argv[0]));
-  const int max_rounds = argc >= 2 ? std::atoi(argv[1]) : 1 << 20;
+  const int max_rounds =
+      argc >= 2
+          ? sysgo::util::parse_int_in(argv[1], "max-rounds", {1, 1 << 30})
+          : 1 << 20;
   const int t = sysgo::simulator::gossip_time(sched, max_rounds);
   if (t < 0) {
     std::printf("gossip incomplete after %d rounds\n", max_rounds);
@@ -523,8 +651,8 @@ int cmd_simulate(int argc, char** argv) {
 
 int cmd_topology(int argc, char** argv) {
   if (argc < 3) return usage();
-  const int d = std::atoi(argv[1]);
-  const int D = std::atoi(argv[2]);
+  const int d = sysgo::util::parse_int_in(argv[1], "<d>", {1, 1 << 20});
+  const int D = sysgo::util::parse_int_in(argv[2], "<D>", {1, 1 << 20});
   sysgo::topology::Family f;
   try {
     f = sysgo::engine::parse_family_token(argv[0]);
@@ -547,6 +675,7 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
     if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
     if (cmd == "synth") return cmd_synth(argc - 2, argv + 2);
+    if (cmd == "store") return cmd_store(argc - 2, argv + 2);
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "topology") return cmd_topology(argc - 2, argv + 2);
