@@ -6,6 +6,8 @@
 // and the resulting coefficients: audit e vs general e(s).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "analysis/gap.hpp"
@@ -81,11 +83,4 @@ BENCHMARK(BM_GapReport)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_ablation();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SYSGO_BENCH_MAIN_PRE("ablation_audit_refinement", print_ablation())

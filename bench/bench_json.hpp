@@ -1,0 +1,124 @@
+// Machine-readable bench sink: every bench/*.cpp main goes through
+// SYSGO_BENCH_MAIN(name) (or the _PRE variant when a CSV table prints
+// first) and, in addition to the usual console output, writes
+// BENCH_<name>.json into the working directory:
+//
+//   {"sysgo_bench": 1, "name": ..., "context": {num_cpus, cpu_ghz},
+//    "benchmarks": {"<bench>": {"time_unit": "ms", "reps": k,
+//                               "median_real_time": x, "p90_real_time": y}}}
+//
+// Repetition samples come from the per-repetition (RT_Iteration) runs; with
+// the default single repetition, median == p90 == the one measurement.
+// Quantiles are nearest-rank, matching obs::Histogram's convention.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "util/fs.hpp"
+
+namespace sysgo::benchjson {
+
+/// Console reporter that additionally captures per-repetition real times,
+/// grouped by benchmark name, for the JSON sink.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Series {
+    std::string time_unit;
+    std::vector<double> real_times;  // one entry per repetition
+  };
+
+  bool ReportContext(const Context& context) override {
+    num_cpus_ = context.cpu_info.num_cpus;
+    cpu_ghz_ = context.cpu_info.cycles_per_second / 1e9;
+    return ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Series& s = series_[run.benchmark_name()];
+      s.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      s.real_times.push_back(run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  [[nodiscard]] const std::map<std::string, Series>& series() const {
+    return series_;
+  }
+  [[nodiscard]] int num_cpus() const { return num_cpus_; }
+  [[nodiscard]] double cpu_ghz() const { return cpu_ghz_; }
+
+ private:
+  std::map<std::string, Series> series_;  // name-sorted, like obs snapshots
+  int num_cpus_ = 0;
+  double cpu_ghz_ = 0.0;
+};
+
+/// Nearest-rank quantile of a sample vector (sorted copy; q in (0, 1]).
+inline double sample_quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto n = static_cast<double>(v.size());
+  const auto r = static_cast<std::size_t>(
+      std::clamp(std::ceil(q * n), 1.0, n));
+  return v[r - 1];
+}
+
+inline std::string render_json(const std::string& name,
+                               const JsonCaptureReporter& rep) {
+  std::ostringstream out;
+  char buf[64];
+  const auto num = [&](double v) -> std::ostringstream& {
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    out << buf;
+    return out;
+  };
+  out << "{\n  \"sysgo_bench\": 1,\n  \"name\": \"" << name
+      << "\",\n  \"context\": {\"num_cpus\": " << rep.num_cpus()
+      << ", \"cpu_ghz\": ";
+  num(rep.cpu_ghz()) << "},\n  \"benchmarks\": {";
+  bool first = true;
+  for (const auto& [bench, s] : rep.series()) {
+    out << (first ? "" : ",") << "\n    \"" << bench
+        << "\": {\"time_unit\": \"" << s.time_unit
+        << "\", \"reps\": " << s.real_times.size()
+        << ", \"median_real_time\": ";
+    num(sample_quantile(s.real_times, 0.50)) << ", \"p90_real_time\": ";
+    num(sample_quantile(s.real_times, 0.90)) << "}";
+    first = false;
+  }
+  out << (rep.series().empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+inline void write_json(const std::string& name,
+                       const JsonCaptureReporter& rep) {
+  util::write_file_atomic("BENCH_" + name + ".json", render_json(name, rep));
+}
+
+}  // namespace sysgo::benchjson
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also writes
+/// BENCH_<name>.json.  `pre` (the _PRE variant) runs before benchmark
+/// initialization — the slot for the table-printing half of the fig benches.
+#define SYSGO_BENCH_MAIN_PRE(bench_name, pre)                         \
+  int main(int argc, char** argv) {                                   \
+    pre;                                                              \
+    benchmark::Initialize(&argc, argv);                               \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    sysgo::benchjson::JsonCaptureReporter reporter;                   \
+    benchmark::RunSpecifiedBenchmarks(&reporter);                     \
+    sysgo::benchjson::write_json(bench_name, reporter);               \
+    benchmark::Shutdown();                                            \
+    return 0;                                                         \
+  }
+
+#define SYSGO_BENCH_MAIN(bench_name) SYSGO_BENCH_MAIN_PRE(bench_name, (void)0)

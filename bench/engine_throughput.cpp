@@ -2,6 +2,8 @@
 // norm computation, serial vs threaded — the ablation benches of DESIGN.md.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "core/delay_digraph.hpp"
 #include "core/delay_matrix.hpp"
 #include "linalg/power_iteration.hpp"
@@ -82,4 +84,4 @@ BENCHMARK(BM_DelayDigraphBuild)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SYSGO_BENCH_MAIN("engine_throughput")

@@ -3,6 +3,8 @@
 // check and the Lemma 4.3 norm comparison.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "core/local_matrix.hpp"
@@ -69,11 +71,4 @@ BENCHMARK(BM_ExactLocalNorm)->Name("fig1/local_norm_exact")->RangeMultiplier(2)-
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_figures();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SYSGO_BENCH_MAIN_PRE("fig1_3_local_matrices", print_figures())

@@ -5,6 +5,8 @@
 //             e(s) 2.8808  1.8133  1.6502  1.5363  1.5021  1.4721  1.4404
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "core/tables.hpp"
@@ -47,11 +49,4 @@ BENCHMARK(BM_Fig4Unbounded)->Name("fig4/e_general_nonsystolic");
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_fig4();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SYSGO_BENCH_MAIN_PRE("fig4_general_bound", print_fig4())

@@ -9,6 +9,8 @@
 // Quoted checkpoints: WBF(2,D) @ s=4 -> 2.0218, DB(2,D) @ s=4 -> 1.8133.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 #include <vector>
 
@@ -77,11 +79,4 @@ BENCHMARK(BM_Fig5Sweep)->Name("fig5/engine_sweep")->Unit(benchmark::kMillisecond
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_fig5();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SYSGO_BENCH_MAIN_PRE("fig5_systolic_topologies", print_fig5())

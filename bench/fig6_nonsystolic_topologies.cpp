@@ -8,6 +8,8 @@
 // Quoted checkpoints: WBF(2,D) -> 1.9750, DB(2,D) -> 1.5876.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -49,11 +51,4 @@ BENCHMARK(BM_Fig6AllRows)->Name("fig6/full_table")->Unit(benchmark::kMillisecond
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_fig6();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SYSGO_BENCH_MAIN_PRE("fig6_nonsystolic_topologies", print_fig6())

@@ -2,6 +2,8 @@
 // Lemma 6.1 norm bound λ + λ² + … + λ^{s−1}.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "core/full_duplex.hpp"
@@ -40,11 +42,4 @@ BENCHMARK(BM_FullDuplexNorm)->Name("fig7/norm_exact")->RangeMultiplier(4)->Range
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_fig7();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SYSGO_BENCH_MAIN_PRE("fig7_full_duplex_matrix", print_fig7())

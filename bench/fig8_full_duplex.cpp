@@ -4,6 +4,8 @@
 // for BF / WBF / K families.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 #include <vector>
 
@@ -58,11 +60,4 @@ BENCHMARK(BM_Fig8Entry)->Name("fig8/separator_bound_fd")->ArgsProduct({{0, 4, 12
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_fig8();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SYSGO_BENCH_MAIN_PRE("fig8_full_duplex", print_fig8())

@@ -6,6 +6,8 @@
 // (the old 64-bit BFS stopped at n = 8).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cmath>
 #include <cstdio>
 
@@ -100,11 +102,4 @@ BENCHMARK(BM_OptimalGossip)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_optimal_table();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SYSGO_BENCH_MAIN_PRE("optimal_small_networks", print_optimal_table())

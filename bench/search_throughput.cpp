@@ -3,6 +3,8 @@
 // old analysis/optimal BFS amounted to.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "search/solver.hpp"
@@ -119,11 +121,4 @@ BENCHMARK(BM_IterativeDeepening)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_symmetry_reduction_table();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SYSGO_BENCH_MAIN_PRE("search_throughput", print_symmetry_reduction_table())

@@ -14,6 +14,8 @@
 // `./bench_simulate_throughput`.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <string>
 #include <tuple>
 #include <vector>
@@ -133,4 +135,4 @@ const bool kRegistered = [] {
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SYSGO_BENCH_MAIN("simulate_throughput")

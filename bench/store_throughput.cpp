@@ -4,6 +4,8 @@
 // sub-microsecond).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -133,4 +135,4 @@ BENCHMARK(BM_StoreReopen)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SYSGO_BENCH_MAIN("store_throughput")

@@ -3,6 +3,8 @@
 // fig5/fig6 corpus families.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "engine/scenario.hpp"
@@ -112,11 +114,4 @@ BENCHMARK(BM_SynthParallelRestarts)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_trajectory_table();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SYSGO_BENCH_MAIN_PRE("synth_throughput", print_trajectory_table())

@@ -8,6 +8,8 @@
 // the sweep engine's thread pool) instead of a bespoke measure/audit loop.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -114,11 +116,4 @@ BENCHMARK(BM_MeasureGossip)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_validation();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+SYSGO_BENCH_MAIN_PRE("validation_upper_vs_lower", print_validation())

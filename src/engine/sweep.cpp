@@ -1,11 +1,13 @@
 #include "engine/sweep.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <array>
 #include <limits>
 
 #include "core/separator_bound.hpp"
 #include "graph/search.hpp"
+#include "obs/metrics.hpp"
+#include "obs/wall_timer.hpp"
 #include "protocol/builders.hpp"
 #include "search/solver.hpp"
 #include "search/state.hpp"
@@ -19,11 +21,46 @@ namespace sysgo::engine {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+/// Engine observability (catalog in README "Observability").  Job latency
+/// is recorded per task kind — the handles live in a Task-indexed array so
+/// run_job pays one relaxed atomic, not a name lookup, per job.
+struct EngineMetrics {
+  obs::Counter& jobs_completed = obs::counter("engine.jobs_completed");
+  obs::Gauge& jobs_inflight = obs::gauge("engine.jobs_inflight");
+  obs::Gauge& inflight_highwater =
+      obs::gauge("engine.jobs_inflight_highwater");
+  obs::Counter& cache_hits = obs::counter("engine.cache.hits");
+  obs::Counter& cache_misses = obs::counter("engine.cache.misses");
+  std::array<obs::Histogram*, 8> task_micros{};
 
-double millis_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  EngineMetrics() {
+    for (const Task t :
+         {Task::kBound, Task::kDiameterBound, Task::kSimulate, Task::kAudit,
+          Task::kSeparatorCheck, Task::kSolveGossip, Task::kSolveBroadcast,
+          Task::kSynthesize})
+      task_micros[static_cast<std::size_t>(t)] =
+          &obs::histogram("engine.task." + task_name(t) + ".micros");
+  }
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m;
+  return m;
 }
+
+[[maybe_unused]] const bool kEngineMetricsRegistered =
+    (engine_metrics(), true);
+
+/// In-flight accounting that survives the sentinel early-returns and any
+/// exception a job throws.
+struct InflightGuard {
+  InflightGuard() {
+    auto& em = engine_metrics();
+    em.jobs_inflight.add(1);
+    em.inflight_highwater.record_max(em.jobs_inflight.value());
+  }
+  ~InflightGuard() { engine_metrics().jobs_inflight.add(-1); }
+};
 
 /// Run body(i) for i in [0, count) honoring the options' threading choice:
 /// serial, the process-wide pool, or a private pool of `threads` lanes.
@@ -57,8 +94,10 @@ std::shared_ptr<const ScenarioArtifacts> ArtifactCache::get_or_build(
     if (inserted) {
       it->second = std::make_shared<Entry>();
       ++misses_;
+      engine_metrics().cache_misses.add(1);
     } else {
       ++hits_;
+      engine_metrics().cache_hits.add(1);
     }
     entry = it->second;
   }
@@ -113,7 +152,19 @@ std::shared_ptr<const ScenarioArtifacts> SweepRunner::artifacts(
 
 SweepRecord SweepRunner::run_job(const SweepJob& job,
                                  const ExecutionLimits& limits) {
-  const auto t0 = Clock::now();
+  const InflightGuard inflight;
+  const obs::WallTimer timer;
+  SweepRecord r = run_job_impl(job, limits);
+  r.millis = timer.millis();
+  auto& em = engine_metrics();
+  em.task_micros[static_cast<std::size_t>(job.task)]->record_micros(
+      timer.micros());
+  em.jobs_completed.add(1);
+  return r;
+}
+
+SweepRecord SweepRunner::run_job_impl(const SweepJob& job,
+                                      const ExecutionLimits& limits) {
   SweepRecord r;
   r.key = job.key;
   r.task = job.task;
@@ -128,7 +179,6 @@ SweepRecord SweepRunner::run_job(const SweepJob& job,
   if (needs_separator_analysis &&
       !topology::family_has_separator_analysis(job.key.family)) {
     r.alpha = r.ell = r.e = r.lambda = -1.0;
-    r.millis = millis_since(t0);
     return r;
   }
   switch (job.task) {
@@ -249,7 +299,6 @@ SweepRecord SweepRunner::run_job(const SweepJob& job,
       break;
     }
   }
-  r.millis = millis_since(t0);
   return r;
 }
 
@@ -302,7 +351,7 @@ std::vector<CaseRecord> run_cases(const std::vector<ScheduleCase>& cases,
   std::vector<CaseRecord> records(cases.size());
   run_indexed_with_options(opts, own_pool.get(), cases.size(),
                            [&](std::size_t i) {
-                             const auto t0 = Clock::now();
+                             const obs::WallTimer timer;
                              const ScheduleCase& c = cases[i];
                              CaseRecord& r = records[i];
                              r.name = c.name;
@@ -313,7 +362,7 @@ std::vector<CaseRecord> run_cases(const std::vector<ScheduleCase>& cases,
                              r.measured =
                                  simulator::gossip_time(compiled, c.max_rounds);
                              r.audit = core::audit_schedule(compiled);
-                             r.millis = millis_since(t0);
+                             r.millis = timer.millis();
                            });
   return records;
 }

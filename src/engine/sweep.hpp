@@ -130,8 +130,13 @@ class SweepRunner {
   /// it) and is part of the cache key.
   [[nodiscard]] std::shared_ptr<const ScenarioArtifacts> artifacts(
       const ScenarioKey& key, std::uint64_t seed);
+  /// run_job_impl computes the record; run_job wraps it in the wall-clock
+  /// measurement (SweepRecord::millis) and the obs accounting (per-task
+  /// latency histogram, jobs in-flight/completed).
   [[nodiscard]] SweepRecord run_job(const SweepJob& job,
                                     const ExecutionLimits& limits);
+  [[nodiscard]] SweepRecord run_job_impl(const SweepJob& job,
+                                         const ExecutionLimits& limits);
   /// run_job behind the result store: consult on resume, write back after
   /// execution.
   [[nodiscard]] SweepRecord run_or_fetch(const SweepJob& job,

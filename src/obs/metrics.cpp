@@ -1,0 +1,251 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/fs.hpp"
+
+namespace sysgo::obs {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+/// Bucket for a microsecond value: 0 -> 0, else bit_width (top bucket
+/// absorbs overflow).
+std::size_t bucket_of(std::uint64_t us) noexcept {
+  if (us == 0) return 0;
+  const auto b = static_cast<std::size_t>(std::bit_width(us));
+  return std::min(b, Histogram::kBuckets - 1);
+}
+
+/// Inclusive-exclusive value range [lo, hi) covered by bucket b.
+std::pair<double, double> bucket_range(std::size_t b) noexcept {
+  if (b == 0) return {0.0, 0.0};
+  return {std::ldexp(1.0, static_cast<int>(b) - 1),
+          std::ldexp(1.0, static_cast<int>(b))};
+}
+
+/// The three maps own the metric objects; unique_ptr keeps addresses stable
+/// across rehash-free std::map growth, and std::map iteration gives the
+/// name-sorted snapshot order for free.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+template <class T>
+T& get_or_register(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+                   std::string_view name) {
+  std::lock_guard<std::mutex> lock(registry().mutex);
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  return *map.emplace(std::string(name), std::make_unique<T>()).first->second;
+}
+
+/// Fixed-precision rendering for quantiles: deterministic and
+/// locale-independent.
+std::string format_us(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+// ---------------------------------------------------------------- Histogram
+
+void Histogram::record_micros(std::uint64_t us) noexcept {
+  if (!enabled()) return;
+  Shard& s = shards_[this_thread_shard()];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(us, std::memory_order_relaxed);
+  s.buckets[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cur = s.min.load(std::memory_order_relaxed);
+  while (us < cur &&
+         !s.min.compare_exchange_weak(cur, us, std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (us > cur &&
+         !s.max.compare_exchange_weak(cur, us, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Agg Histogram::aggregate() const noexcept {
+  Agg agg;
+  std::uint64_t min = ~std::uint64_t{0};
+  for (const Shard& s : shards_) {
+    agg.count += s.count.load(std::memory_order_relaxed);
+    agg.sum_us += s.sum.load(std::memory_order_relaxed);
+    min = std::min(min, s.min.load(std::memory_order_relaxed));
+    agg.max_us = std::max(agg.max_us, s.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBuckets; ++b)
+      agg.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+  }
+  agg.min_us = agg.count > 0 ? min : 0;
+  return agg;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::Agg::quantile_us(double q) const noexcept {
+  if (count == 0) return 0.0;
+  // Nearest-rank with in-bucket linear interpolation: rank r = ceil(q * n)
+  // clamped to [1, n]; the result is lo + (hi - lo) * (r - before) / k for
+  // the bucket [lo, hi) holding rank r, clamped to the observed [min, max].
+  const auto r = static_cast<std::uint64_t>(std::clamp(
+      std::ceil(q * static_cast<double>(count)), 1.0,
+      static_cast<double>(count)));
+  std::uint64_t before = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t k = buckets[b];
+    if (k == 0 || before + k < r) {
+      before += k;
+      continue;
+    }
+    const auto [lo, hi] = bucket_range(b);
+    const double inside = static_cast<double>(r - before) /
+                          static_cast<double>(k);
+    const double est = lo + (hi - lo) * inside;
+    return std::clamp(est, static_cast<double>(min_us),
+                      static_cast<double>(max_us));
+  }
+  return static_cast<double>(max_us);  // unreachable when counts are sane
+}
+
+// ----------------------------------------------------------------- Registry
+
+Counter& counter(std::string_view name) {
+  return get_or_register(registry().counters, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  return get_or_register(registry().gauges, name);
+}
+
+Histogram& histogram(std::string_view name) {
+  return get_or_register(registry().histograms, name);
+}
+
+// ----------------------------------------------------------------- Snapshot
+
+Snapshot snapshot() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  Snapshot snap;
+  snap.counters.reserve(reg.counters.size());
+  for (const auto& [name, c] : reg.counters)
+    snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(reg.gauges.size());
+  for (const auto& [name, g] : reg.gauges)
+    snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(reg.histograms.size());
+  for (const auto& [name, h] : reg.histograms) {
+    HistogramSample s;
+    s.name = name;
+    s.agg = h->aggregate();
+    s.p50_us = s.agg.quantile_us(0.50);
+    s.p90_us = s.agg.quantile_us(0.90);
+    s.p99_us = s.agg.quantile_us(0.99);
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::ostringstream out;
+  out << "{\n  \"sysgo_metrics\": 1,\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i)
+    out << (i > 0 ? "," : "") << "\n    \"" << snap.counters[i].name
+        << "\": " << snap.counters[i].value;
+  out << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i)
+    out << (i > 0 ? "," : "") << "\n    \"" << snap.gauges[i].name
+        << "\": " << snap.gauges[i].value;
+  out << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSample& h = snap.histograms[i];
+    out << (i > 0 ? "," : "") << "\n    \"" << h.name << "\": {"
+        << "\"count\": " << h.agg.count << ", \"sum_us\": " << h.agg.sum_us
+        << ", \"min_us\": " << h.agg.min_us
+        << ", \"max_us\": " << h.agg.max_us
+        << ", \"p50_us\": " << format_us(h.p50_us)
+        << ", \"p90_us\": " << format_us(h.p90_us)
+        << ", \"p99_us\": " << format_us(h.p99_us) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+      out << (b > 0 ? "," : "") << h.agg.buckets[b];
+    out << "]}";
+  }
+  out << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string to_csv(const Snapshot& snap) {
+  std::ostringstream out;
+  out << "kind,name,value,count,sum_us,min_us,max_us,p50_us,p90_us,p99_us\n";
+  for (const CounterSample& c : snap.counters)
+    out << "counter," << c.name << ',' << c.value << ",,,,,,,\n";
+  for (const GaugeSample& g : snap.gauges)
+    out << "gauge," << g.name << ',' << g.value << ",,,,,,,\n";
+  for (const HistogramSample& h : snap.histograms)
+    out << "histogram," << h.name << ",," << h.agg.count << ','
+        << h.agg.sum_us << ',' << h.agg.min_us << ',' << h.agg.max_us << ','
+        << format_us(h.p50_us) << ',' << format_us(h.p90_us) << ','
+        << format_us(h.p99_us) << '\n';
+  return out.str();
+}
+
+void write_metrics_file(const std::string& path) {
+  const Snapshot snap = snapshot();
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  util::write_file_atomic(path, csv ? to_csv(snap) : to_json(snap));
+}
+
+void reset_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& [name, c] : reg.counters) c->reset();
+  for (const auto& [name, g] : reg.gauges) g->reset();
+  for (const auto& [name, h] : reg.histograms) h->reset();
+}
+
+}  // namespace sysgo::obs

@@ -13,6 +13,8 @@
 
 #include "analysis/optimal.hpp"
 #include "graph/search.hpp"
+#include "obs/metrics.hpp"
+#include "obs/wall_timer.hpp"
 #include "protocol/compiled.hpp"
 #include "search/state_set.hpp"
 #include "search/symmetry.hpp"
@@ -25,6 +27,27 @@ namespace {
 
 using protocol::Mode;
 using protocol::Round;
+
+/// Search observability (catalog in README "Observability").  The BFS hot
+/// loop accumulates into per-chunk locals and charges the counters once per
+/// 64-state chunk, so the per-state cost is plain integer arithmetic.
+struct SearchMetrics {
+  obs::Histogram& solve_micros = obs::histogram("search.solve.micros");
+  obs::Histogram& layer_micros = obs::histogram("search.layer.micros");
+  obs::Counter& layers = obs::counter("search.layers");
+  obs::Counter& expanded = obs::counter("search.states_expanded");
+  obs::Counter& discovered = obs::counter("search.states_discovered");
+  obs::Counter& deduped = obs::counter("search.states_deduped");
+  obs::Counter& idbb_nodes = obs::counter("search.idbb_nodes");
+};
+
+SearchMetrics& search_metrics() {
+  static SearchMetrics m;
+  return m;
+}
+
+[[maybe_unused]] const bool kSearchMetricsRegistered =
+    (search_metrics(), true);
 
 // --------------------------------------------------- permutation utilities
 
@@ -270,6 +293,7 @@ void gossip_bfs(const std::vector<Round>& moves, Mode mode,
   constexpr std::size_t kChunk = 64;  // states per task: one lock per chunk
 
   for (int depth = 1; depth <= opts.max_rounds && !frontier.empty(); ++depth) {
+    const obs::WallTimer layer_timer;
     std::vector<State> next;
     std::mutex next_mutex;
     std::atomic<bool> found{false};
@@ -281,6 +305,8 @@ void gossip_bfs(const std::vector<Round>& moves, Mode mode,
       // arithmetic, so they cannot perturb the determinism contract.
       const auto body = [&](std::size_t chunk) {
         std::vector<State> local;
+        std::uint64_t discovered = 0;
+        std::uint64_t deduped = 0;
         const std::size_t lo = chunk * kChunk;
         const std::size_t hi = std::min(count, lo + kChunk);
         for (std::size_t i = lo; i < hi; ++i) {
@@ -289,7 +315,11 @@ void gossip_bfs(const std::vector<Round>& moves, Mode mode,
             State t = apply_round(s, m, mode);
             if (t == s) continue;
             t = canon.canonical(t);
-            if (!visited.insert(t)) continue;
+            if (!visited.insert(t)) {
+              ++deduped;
+              continue;
+            }
+            ++discovered;
             if (t == goal) {
               found.store(true, std::memory_order_relaxed);
               continue;
@@ -297,6 +327,10 @@ void gossip_bfs(const std::vector<Round>& moves, Mode mode,
             local.push_back(t);
           }
         }
+        auto& sm = search_metrics();
+        sm.expanded.add(hi - lo);
+        sm.discovered.add(discovered);
+        sm.deduped.add(deduped);
         if (!local.empty()) {
           std::lock_guard<std::mutex> lock(next_mutex);
           next.insert(next.end(), local.begin(), local.end());
@@ -316,6 +350,8 @@ void gossip_bfs(const std::vector<Round>& moves, Mode mode,
         stop = true;
       }
     }
+    search_metrics().layers.add(1);
+    search_metrics().layer_micros.record_micros(layer_timer.micros());
     if (stop) break;
     // Sorting makes the next layer's batch boundaries (and therefore any
     // mid-layer stop) identical for every thread count.
@@ -388,6 +424,7 @@ void gossip_deepening(const std::vector<Round>& moves, Mode mode,
     }
   }
   res.states_explored = search.nodes;
+  search_metrics().idbb_nodes.add(search.nodes);
 }
 
 // ------------------------------------------------------------- broadcast
@@ -465,6 +502,7 @@ void broadcast_bfs(const std::vector<Round>& moves, const Canonicalizer& canon,
 }  // namespace
 
 SolveResult solve(const graph::Digraph& g, const SolveOptions& opts) {
+  const obs::ScopedTimer span(search_metrics().solve_micros);
   const int n = g.vertex_count();
   if (n > kMaxVertices)
     throw std::invalid_argument("search::solve: n <= 12 required");

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "io/sweep_io.hpp"
+#include "obs/metrics.hpp"
 #include "util/fs.hpp"
 #include "util/table.hpp"
 
@@ -16,6 +17,26 @@ namespace sysgo::store {
 namespace {
 
 constexpr std::string_view kHeader = "# sysgo-store v1";
+
+/// Store observability (catalog in README "Observability"): API-level
+/// lookup/insert latency and outcomes, plus bytes appended to the log.
+struct StoreMetrics {
+  obs::Histogram& lookup_micros = obs::histogram("store.lookup.micros");
+  obs::Histogram& insert_micros = obs::histogram("store.insert.micros");
+  obs::Counter& lookup_hits = obs::counter("store.lookup.hits");
+  obs::Counter& lookup_misses = obs::counter("store.lookup.misses");
+  obs::Counter& inserted = obs::counter("store.insert.inserted");
+  obs::Counter& duplicates = obs::counter("store.insert.duplicates");
+  obs::Counter& conflicts = obs::counter("store.insert.conflicts");
+  obs::Counter& log_bytes = obs::counter("store.log_bytes_written");
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics m;
+  return m;
+}
+
+[[maybe_unused]] const bool kStoreMetricsRegistered = (store_metrics(), true);
 
 std::string digest_hex(std::uint64_t digest) {
   char buf[17];
@@ -176,29 +197,41 @@ const ResultStore::Row* ResultStore::find_locked(const StoreKey& key) const {
 void ResultStore::append_locked(const Row& row) {
   std::ofstream out(path_, std::ios::binary | std::ios::app);
   if (!out) throw std::runtime_error("cannot append to " + path_);
-  out << log_line(row);
+  const std::string line = log_line(row);
+  out << line;
   out.flush();
   if (!out) throw std::runtime_error("short append to " + path_);
+  store_metrics().log_bytes.add(line.size());
   index_[row.key.digest].push_back(rows_.size());
   rows_.push_back(row);
 }
 
 std::optional<engine::SweepRecord> ResultStore::lookup(
     const StoreKey& key) const {
+  auto& sm = store_metrics();
+  const obs::ScopedTimer span(sm.lookup_micros);
   std::lock_guard<std::mutex> lock(mutex_);
   const Row* row = find_locked(key);
-  if (row == nullptr) return std::nullopt;
+  if (row == nullptr) {
+    sm.lookup_misses.add(1);
+    return std::nullopt;
+  }
+  sm.lookup_hits.add(1);
   return row->record;
 }
 
 InsertOutcome ResultStore::insert(const StoreKey& key,
                                   const engine::SweepRecord& record) {
+  auto& sm = store_metrics();
+  const obs::ScopedTimer span(sm.insert_micros);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (const Row* existing = find_locked(key))
-    return engine::same_result(existing->record, record)
-               ? InsertOutcome::kDuplicate
-               : InsertOutcome::kConflict;
+  if (const Row* existing = find_locked(key)) {
+    const bool same = engine::same_result(existing->record, record);
+    (same ? sm.duplicates : sm.conflicts).add(1);
+    return same ? InsertOutcome::kDuplicate : InsertOutcome::kConflict;
+  }
   append_locked(Row{key, record});
+  sm.inserted.add(1);
   return InsertOutcome::kInserted;
 }
 

@@ -1,13 +1,14 @@
 #include "synth/synthesizer.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/wall_timer.hpp"
 #include "protocol/builders.hpp"
 #include "protocol/compiled.hpp"
 #include "search/solver.hpp"
@@ -22,11 +23,27 @@ namespace {
 
 using graph::Arc;
 using protocol::Mode;
-using Clock = std::chrono::steady_clock;
 
-double millis_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+/// Synthesis observability (catalog in README "Observability").  Move
+/// counters are charged once per restart from the anneal totals — the inner
+/// annealing loop itself touches no metrics.
+struct SynthMetrics {
+  obs::Counter& restarts_run = obs::counter("synth.restarts_run");
+  obs::Counter& moves_proposed = obs::counter("synth.moves_proposed");
+  obs::Counter& moves_accepted = obs::counter("synth.moves_accepted");
+  obs::Counter& improvements = obs::counter("synth.improvements");
+  obs::Gauge& last_best_objective = obs::gauge("synth.last_best_objective");
+  obs::Histogram& restart_micros = obs::histogram("synth.restart.micros");
+  obs::Histogram& synthesize_micros =
+      obs::histogram("synth.synthesize.micros");
+};
+
+SynthMetrics& synth_metrics() {
+  static SynthMetrics m;
+  return m;
 }
+
+[[maybe_unused]] const bool kSynthMetricsRegistered = (synth_metrics(), true);
 
 /// Candidate link pool: the arcs a draft may activate.  Half-duplex drafts
 /// draw from g's arcs; full-duplex drafts from the tail < head edges of
@@ -46,6 +63,7 @@ struct RestartOutcome {
   protocol::SystolicSchedule schedule;
   std::int64_t proposed = 0;
   std::int64_t accepted = 0;
+  std::int64_t improved = 0;  // accepted moves that beat the restart's best
 };
 
 /// One annealing run from `initial`.  Self-contained: consumes only its own
@@ -54,7 +72,7 @@ RestartOutcome anneal(const protocol::SystolicSchedule& initial,
                       const std::vector<Arc>& pool,
                       const graph::Digraph* membership, int max_period,
                       const SynthOptions& opts, util::Rng rng) {
-  const auto t0 = Clock::now();
+  const obs::WallTimer timer;
   ScheduleDraft draft = ScheduleDraft::from_schedule(initial);
   // Inner evaluations run under an adaptive round cap — a candidate that
   // cannot beat (twice) the incumbent is cut off instead of simulating to
@@ -80,7 +98,7 @@ RestartOutcome anneal(const protocol::SystolicSchedule& initial,
   constexpr double kTEnd = 0.05;
   const double steps = opts.iterations > 1 ? opts.iterations - 1 : 1;
   for (int it = 0; it < opts.iterations; ++it) {
-    if (opts.time_budget_ms > 0.0 && millis_since(t0) >= opts.time_budget_ms)
+    if (opts.time_budget_ms > 0.0 && timer.millis() >= opts.time_budget_ms)
       break;
     ++out.proposed;
     // Snapshot-undo: drafts are small (period × links), so a full copy is
@@ -168,6 +186,7 @@ RestartOutcome anneal(const protocol::SystolicSchedule& initial,
       ++out.accepted;
       current = candidate;
       if (better(candidate, out.objective)) {
+        ++out.improved;
         out.objective = candidate;
         out.schedule = draft.to_schedule();
       }
@@ -210,7 +229,7 @@ protocol::SystolicSchedule initial_schedule(
 }  // namespace
 
 SynthResult synthesize(const graph::Digraph& g, const SynthOptions& opts) {
-  const auto t0 = Clock::now();
+  const obs::WallTimer timer;
   if (g.vertex_count() < 2)
     throw std::invalid_argument("synthesize: need at least 2 vertices");
   if (opts.restarts < 1)
@@ -235,6 +254,7 @@ SynthResult synthesize(const graph::Digraph& g, const SynthOptions& opts) {
 
   std::vector<RestartOutcome> outcomes(static_cast<std::size_t>(opts.restarts));
   const auto run_one = [&](std::size_t r) {
+    const obs::ScopedTimer span(synth_metrics().restart_micros);
     util::Rng rng(util::derive_seed(opts.seed, r));
     const auto initial =
         initial_schedule(g, static_cast<int>(r), coloring, opts, rng);
@@ -257,9 +277,11 @@ SynthResult synthesize(const graph::Digraph& g, const SynthOptions& opts) {
   // loop ran under the adaptive cap).
   SynthResult result;
   result.restarts_run = opts.restarts;
+  std::int64_t improved = 0;
   for (std::size_t r = 0; r < outcomes.size(); ++r) {
     result.moves_proposed += outcomes[r].proposed;
     result.moves_accepted += outcomes[r].accepted;
+    improved += outcomes[r].improved;
     const Objective full = evaluate(
         protocol::CompiledSchedule::compile(outcomes[r].schedule, membership),
         opts.objective);
@@ -269,7 +291,15 @@ SynthResult synthesize(const graph::Digraph& g, const SynthOptions& opts) {
       result.schedule = outcomes[r].schedule;
     }
   }
-  result.millis = millis_since(t0);
+  result.millis = timer.millis();
+  auto& sm = synth_metrics();
+  sm.restarts_run.add(static_cast<std::uint64_t>(opts.restarts));
+  sm.moves_proposed.add(static_cast<std::uint64_t>(result.moves_proposed));
+  sm.moves_accepted.add(static_cast<std::uint64_t>(result.moves_accepted));
+  sm.improvements.add(static_cast<std::uint64_t>(improved));
+  sm.last_best_objective.set(
+      static_cast<std::int64_t>(result.objective.score()));
+  sm.synthesize_micros.record_micros(timer.micros());
   return result;
 }
 

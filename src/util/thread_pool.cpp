@@ -5,9 +5,38 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/wall_timer.hpp"
 #include "util/parallel.hpp"
 
 namespace sysgo::util {
+
+namespace {
+
+/// Pool observability (metric catalog in README "Observability").  The
+/// handles are resolved once; steady-state cost per event is one relaxed
+/// sharded atomic.  tasks_* count pool closures (a parallel region submits
+/// helpers, not indices); idle time is accumulated around the workers' cv
+/// waits, where it is free.
+struct PoolMetrics {
+  obs::Counter& submitted = obs::counter("pool.tasks_submitted");
+  obs::Counter& executed = obs::counter("pool.tasks_executed");
+  obs::Counter& stolen = obs::counter("pool.tasks_stolen");
+  obs::Counter& idle_micros = obs::counter("pool.worker_idle_micros");
+  obs::Gauge& queue_highwater = obs::gauge("pool.queue_depth_highwater");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+/// Eager registration: any binary linking this TU (everything that touches
+/// the pool) exposes the full pool catalog in `sysgo metrics dump` and in
+/// --metrics snapshots even before the first task runs.
+[[maybe_unused]] const bool kPoolMetricsRegistered = (pool_metrics(), true);
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned workers) {
   if (workers == kDefaultWorkers) {
@@ -51,7 +80,9 @@ ThreadPool& ThreadPool::instance() {
 
 void ThreadPool::submit(std::function<void()> task) {
   if (queues_.empty()) {  // no workers: run inline
+    pool_metrics().submitted.add(1);
     task();
+    pool_metrics().executed.add(1);
     return;
   }
   const std::size_t q =
@@ -60,7 +91,10 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(queues_[q]->mutex);
     queues_[q]->tasks.push_back(std::move(task));
   }
-  pending_.fetch_add(1, std::memory_order_release);
+  const std::size_t depth =
+      pending_.fetch_add(1, std::memory_order_release) + 1;
+  pool_metrics().submitted.add(1);
+  pool_metrics().queue_highwater.record_max(static_cast<std::int64_t>(depth));
   {
     std::lock_guard<std::mutex> lock(sleep_mutex_);
     sleep_cv_.notify_one();
@@ -70,6 +104,7 @@ void ThreadPool::submit(std::function<void()> task) {
 bool ThreadPool::try_run_one(std::size_t home) {
   std::function<void()> task;
   const std::size_t n = queues_.size();
+  bool stolen = false;
   // Own queue back (LIFO), then steal from the others front (FIFO).
   for (std::size_t k = 0; k < n && !task; ++k) {
     const std::size_t q = (home + k) % n;
@@ -81,11 +116,14 @@ bool ThreadPool::try_run_one(std::size_t home) {
     } else {
       task = std::move(queues_[q]->tasks.front());
       queues_[q]->tasks.pop_front();
+      stolen = true;
     }
   }
   if (!task) return false;
   pending_.fetch_sub(1, std::memory_order_acq_rel);
+  if (stolen) pool_metrics().stolen.add(1);
   task();
+  pool_metrics().executed.add(1);
   return true;
 }
 
@@ -93,10 +131,12 @@ void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
     if (try_run_one(self)) continue;
     std::unique_lock<std::mutex> lock(sleep_mutex_);
+    const obs::WallTimer idle;
     sleep_cv_.wait(lock, [this] {
       return pending_.load(std::memory_order_acquire) > 0 ||
              stop_.load(std::memory_order_acquire);
     });
+    pool_metrics().idle_micros.add(idle.micros());
     if (stop_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0)
       return;

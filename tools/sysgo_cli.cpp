@@ -10,12 +10,17 @@
 //   sysgo audit <schedule-file>           certify a lower bound
 //   sysgo simulate <schedule-file> [max]  measured gossip time
 //   sysgo topology <name> <d> <D>         emit a network as sysgo-digraph
+//   sysgo metrics dump                    render the obs metric catalog
+//
+// sweep/solve/synth accept --metrics PATH (write an obs snapshot at exit)
+// and --progress (throttled stderr heartbeat with ETA and cache hit rate).
 //
 // Schedule files use the io/protocol_text format ("sysgo-schedule v1").
 // All numeric flags go through util/parse: garbage ("--threads 4x"),
 // overflow, and zero/negative values are rejected at parse time with the
 // offending flag and value named, never silently accepted (the old
 // std::atoi paths) or reported as a bare "stoi" (the old std::stoi paths).
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,6 +41,8 @@
 #include "io/graph_text.hpp"
 #include "io/protocol_text.hpp"
 #include "io/sweep_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/wall_timer.hpp"
 #include "simulator/gossip_sim.hpp"
 #include "store/result_store.hpp"
 #include "topology/topology.hpp"
@@ -58,6 +65,7 @@ int usage() {
                "              [--format csv|json] [--max-rounds M] "
                "[--seed S] [--no-cache]\n"
                "              [--store PATH] [--resume] [--shard i/m]\n"
+               "              [--metrics PATH] [--progress]\n"
                "      families: bf wbf-dir wbf db-dir db kautz-dir kautz "
                "cycle complete hypercube ccc se knodel rr gnp\n"
                "      (rr/gnp are seeded random members; --seed picks the "
@@ -74,13 +82,18 @@ int usage() {
                "(byte-identical output)\n"
                "      --shard i/m    run shard i of m (disjoint round-robin "
                "partition)\n"
+               "      --metrics PATH write an obs snapshot at exit (JSON, or "
+               "CSV for *.csv)\n"
+               "      --progress     throttled stderr heartbeat: done/total, "
+               "ETA, cache hit rate\n"
                "  sysgo solve [--families f1,..] [--d 2] [--D lo:hi] "
                "[--modes half,full]\n"
                "              [--problems gossip,broadcast] [--threads N] "
                "[--solver-threads N]\n"
                "              [--max-rounds M] [--max-states S] [--format "
                "csv|json] [--no-cache]\n"
-               "              [--store PATH] [--resume] [--shard i/m]\n"
+               "              [--store PATH] [--resume] [--shard i/m] "
+               "[--metrics PATH] [--progress]\n"
                "      exact optima via the symmetry-reduced search (n <= 12;\n"
                "      default: cycle, D=4:9, both modes, both problems)\n"
                "  sysgo synth [--families f1,..] [--d 2] [--D lo:hi] "
@@ -90,7 +103,8 @@ int usage() {
                "              [--synth-threads N] [--threads N] [--seed S] "
                "[--max-rounds M]\n"
                "              [--format csv|json] [--no-cache]\n"
-               "              [--store PATH] [--resume] [--shard i/m]\n"
+               "              [--store PATH] [--resume] [--shard i/m] "
+               "[--metrics PATH] [--progress]\n"
                "      multi-start annealing schedule synthesis (src/synth/);\n"
                "      default: db,kautz, d=2, D=3:5, half duplex\n"
                "  sysgo store merge --out OUT IN1 [IN2 ...]\n"
@@ -101,7 +115,10 @@ int usage() {
                "  sysgo store compact <PATH>\n"
                "  sysgo audit <schedule-file>\n"
                "  sysgo simulate <schedule-file> [max-rounds]\n"
-               "  sysgo topology <family> <d> <D>\n");
+               "  sysgo topology <family> <d> <D>\n"
+               "  sysgo metrics dump [--format json|csv]\n"
+               "      render the metric catalog (zeros in a fresh process) — "
+               "the --metrics schema\n");
   return 2;
 }
 
@@ -220,6 +237,57 @@ struct StreamConfig {
   std::string store_path;  // --store
   bool resume = false;     // --resume (requires --store)
   sysgo::util::ShardSpec shard{};  // --shard i/m (1/1 = whole grid)
+  std::string metrics_path;  // --metrics: obs snapshot written at exit
+  bool progress = false;     // --progress: stderr heartbeat
+};
+
+/// Throttled stderr heartbeat (--progress): done/total, percentage, elapsed
+/// and estimated remaining wall-clock, plus the artifact-cache hit rate so
+/// far.  tick() runs inside on_record callbacks — possibly concurrently —
+/// and prints at most every ~500 ms (the final record always prints).
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(std::size_t total) : total_(total) {}
+
+  /// The runner is constructed after the callbacks are wired; attach()
+  /// before run_jobs so ticks can read its cache stats.
+  void attach(const sysgo::engine::SweepRunner* runner) { runner_ = runner; }
+
+  void tick() {
+    const std::size_t done =
+        done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double ms = timer_.millis();
+    if (done < total_ && ms - last_print_ms_ < 500.0) return;
+    last_print_ms_ = ms;
+    const double pct =
+        total_ > 0 ? 100.0 * static_cast<double>(done) /
+                         static_cast<double>(total_)
+                   : 100.0;
+    const double eta_s =
+        done > 0 ? ms / 1000.0 / static_cast<double>(done) *
+                       static_cast<double>(total_ - done)
+                 : 0.0;
+    double hit_pct = 0.0;
+    if (runner_ != nullptr) {
+      const auto cs = runner_->cache_stats();
+      if (cs.hits + cs.misses > 0)
+        hit_pct = 100.0 * static_cast<double>(cs.hits) /
+                  static_cast<double>(cs.hits + cs.misses);
+    }
+    std::fprintf(stderr,
+                 "progress: %zu/%zu (%.0f%%) elapsed=%.1fs eta=%.1fs "
+                 "cache-hit=%.0f%%\n",
+                 done, total_, pct, ms / 1000.0, eta_s, hit_pct);
+  }
+
+ private:
+  const std::size_t total_;
+  const sysgo::engine::SweepRunner* runner_ = nullptr;
+  std::atomic<std::size_t> done_{0};
+  std::mutex mutex_;
+  sysgo::obs::WallTimer timer_;
+  double last_print_ms_ = -1e9;  // first record always prints
 };
 
 /// Expand, shard, execute and stream a spec: CSV rows or JSON records
@@ -245,6 +313,7 @@ int stream_spec(const sysgo::engine::ScenarioSpec& spec,
     opts.resume = cfg.resume;
   }
   OrderedEmitter emitter;
+  ProgressMeter meter(jobs.size());
   if (cfg.json) {
     std::fprintf(stderr, "seed: %llu\n",
                  static_cast<unsigned long long>(spec.limits.seed));
@@ -252,6 +321,7 @@ int stream_spec(const sysgo::engine::ScenarioSpec& spec,
     opts.on_record = [&](std::size_t i, const engine::SweepRecord& r) {
       emitter.emit(i, "  " + sysgo::io::sweep_json_record(r) +
                           (i + 1 < jobs.size() ? ",\n" : "\n"));
+      if (cfg.progress) meter.tick();
     };
   } else {
     std::fprintf(stdout, "# seed=%llu\n",
@@ -259,14 +329,27 @@ int stream_spec(const sysgo::engine::ScenarioSpec& spec,
     std::fputs(sysgo::io::sweep_csv_header().c_str(), stdout);
     opts.on_record = [&](std::size_t i, const engine::SweepRecord& r) {
       emitter.emit(i, sysgo::io::sweep_csv_row(r));
+      if (cfg.progress) meter.tick();
     };
   }
   engine::SweepRunner runner(opts);
+  meter.attach(&runner);
   const auto records = runner.run_jobs(jobs, spec.limits);
   if (cfg.json) std::fputs("]\n", stdout);
   const auto stats = runner.cache_stats();
-  std::fprintf(stderr, "sweep: %zu records, cache %zu hits / %zu misses\n",
-               records.size(), stats.hits, stats.misses);
+  const double hit_pct =
+      stats.hits + stats.misses > 0
+          ? 100.0 * static_cast<double>(stats.hits) /
+                static_cast<double>(stats.hits + stats.misses)
+          : 0.0;
+  std::fprintf(stderr,
+               "sweep: %zu records, cache %zu hits / %zu misses "
+               "(%.1f%% hit rate)\n",
+               records.size(), stats.hits, stats.misses, hit_pct);
+  // The snapshot is written even when conflicts fail the run below — a
+  // diverging campaign is exactly when the metrics are worth reading.
+  if (!cfg.metrics_path.empty())
+    sysgo::obs::write_metrics_file(cfg.metrics_path);
   if (store != nullptr) {
     const auto rs = runner.run_stats();
     std::fprintf(stderr,
@@ -357,6 +440,10 @@ int cmd_sweep(int argc, char** argv) {
       cfg.resume = true;
     } else if (flag == "--shard") {
       cfg.shard = sysgo::util::parse_shard(value());
+    } else if (flag == "--metrics") {
+      cfg.metrics_path = value();
+    } else if (flag == "--progress") {
+      cfg.progress = true;
     } else {
       std::fprintf(stderr, "unknown sweep flag: %s\n", flag.c_str());
       return usage();
@@ -451,6 +538,10 @@ int cmd_solve(int argc, char** argv) {
         cfg.resume = true;
       } else if (flag == "--shard") {
         cfg.shard = sysgo::util::parse_shard(value());
+      } else if (flag == "--metrics") {
+        cfg.metrics_path = value();
+      } else if (flag == "--progress") {
+        cfg.progress = true;
       } else {
         std::fprintf(stderr, "unknown solve flag: %s\n", flag.c_str());
         return usage();
@@ -535,6 +626,10 @@ int cmd_synth(int argc, char** argv) {
         cfg.resume = true;
       } else if (flag == "--shard") {
         cfg.shard = sysgo::util::parse_shard(value());
+      } else if (flag == "--metrics") {
+        cfg.metrics_path = value();
+      } else if (flag == "--progress") {
+        cfg.progress = true;
       } else {
         std::fprintf(stderr, "unknown synth flag: %s\n", flag.c_str());
         return usage();
@@ -649,6 +744,36 @@ int cmd_simulate(int argc, char** argv) {
   return 0;
 }
 
+// -------------------------------------------------------------- metrics
+
+/// `sysgo metrics dump [--format json|csv]`: render the registry snapshot.
+/// In a fresh process every value is zero, but the full metric catalog is
+/// present (every instrumented TU registers its names eagerly) — the quick
+/// way to see what --metrics will produce and to smoke-test the schema.
+int cmd_metrics(int argc, char** argv) {
+  if (argc < 1 || std::strcmp(argv[0], "dump") != 0) return usage();
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--format") {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("missing value for --format");
+      const std::string fmt = argv[++i];
+      if (fmt == "csv") csv = true;
+      else if (fmt != "json")
+        throw std::invalid_argument("unknown format: " + fmt);
+    } else {
+      std::fprintf(stderr, "unknown metrics flag: %s\n", flag.c_str());
+      return usage();
+    }
+  }
+  const auto snap = sysgo::obs::snapshot();
+  std::fputs(
+      (csv ? sysgo::obs::to_csv(snap) : sysgo::obs::to_json(snap)).c_str(),
+      stdout);
+  return 0;
+}
+
 int cmd_topology(int argc, char** argv) {
   if (argc < 3) return usage();
   const int d = sysgo::util::parse_int_in(argv[1], "<d>", {1, 1 << 20});
@@ -679,6 +804,7 @@ int main(int argc, char** argv) {
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "topology") return cmd_topology(argc - 2, argv + 2);
+    if (cmd == "metrics") return cmd_metrics(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
