@@ -7,6 +7,7 @@
 #include "core/separator_bound.hpp"
 #include "graph/search.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "obs/wall_timer.hpp"
 #include "protocol/builders.hpp"
 #include "search/solver.hpp"
@@ -153,6 +154,19 @@ std::shared_ptr<const ScenarioArtifacts> SweepRunner::artifacts(
 SweepRecord SweepRunner::run_job(const SweepJob& job,
                                  const ExecutionLimits& limits) {
   const InflightGuard inflight;
+  // One span per job, named by task so `sysgo trace report` breaks stages
+  // down per task kind.  All naming/interning work sits behind armed().
+  obs::trace::TraceSpan span(
+      obs::trace::enabled()
+          ? obs::trace::intern("engine.task." + task_name(job.task))
+          : 0);
+  if (span.armed()) {
+    span.str_arg(obs::trace::intern("family"),
+                 obs::trace::intern(family_token(job.key.family)));
+    span.arg(obs::trace::intern("d"), job.key.d);
+    span.arg(obs::trace::intern("D"), job.key.D);
+    span.arg(obs::trace::intern("s"), job.s);
+  }
   const obs::WallTimer timer;
   SweepRecord r = run_job_impl(job, limits);
   r.millis = timer.millis();

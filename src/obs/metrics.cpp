@@ -142,7 +142,12 @@ double Histogram::Agg::quantile_us(double q) const noexcept {
       before += k;
       continue;
     }
-    const auto [lo, hi] = bucket_range(b);
+    auto [lo, hi] = bucket_range(b);
+    // The top bucket absorbs overflow (bucket_of clamps), so its nominal
+    // upper edge can sit far below the samples it actually holds; stretch
+    // it to the observed max so overflow weight moves percentiles instead
+    // of silently flattening them under 2^(kBuckets-1).
+    if (b == kBuckets - 1) hi = std::max(hi, static_cast<double>(max_us));
     const double inside = static_cast<double>(r - before) /
                           static_cast<double>(k);
     const double est = lo + (hi - lo) * inside;

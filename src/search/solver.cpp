@@ -14,6 +14,7 @@
 #include "analysis/optimal.hpp"
 #include "graph/search.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "obs/wall_timer.hpp"
 #include "protocol/compiled.hpp"
 #include "search/state_set.hpp"
@@ -293,6 +294,15 @@ void gossip_bfs(const std::vector<Round>& moves, Mode mode,
   constexpr std::size_t kChunk = 64;  // states per task: one lock per chunk
 
   for (int depth = 1; depth <= opts.max_rounds && !frontier.empty(); ++depth) {
+    // One span per BFS layer: where the canonicalizer stalls shows up as
+    // long "search.layer" spans whose `frontier` arg stopped growing.
+    obs::trace::TraceSpan layer_span(
+        obs::trace::enabled() ? obs::trace::intern("search.layer") : 0);
+    if (layer_span.armed()) {
+      layer_span.arg(obs::trace::intern("depth"), depth);
+      layer_span.arg(obs::trace::intern("frontier"),
+                     static_cast<std::int64_t>(frontier.size()));
+    }
     const obs::WallTimer layer_timer;
     std::vector<State> next;
     std::mutex next_mutex;
@@ -352,6 +362,9 @@ void gossip_bfs(const std::vector<Round>& moves, Mode mode,
     }
     search_metrics().layers.add(1);
     search_metrics().layer_micros.record_micros(layer_timer.micros());
+    if (layer_span.armed())
+      layer_span.arg(obs::trace::intern("visited"),
+                     static_cast<std::int64_t>(visited.size()));
     if (stop) break;
     // Sorting makes the next layer's batch boundaries (and therefore any
     // mid-layer stop) identical for every thread count.

@@ -9,6 +9,7 @@
 
 #include "io/sweep_io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fs.hpp"
 #include "util/table.hpp"
 
@@ -37,6 +38,19 @@ StoreMetrics& store_metrics() {
 }
 
 [[maybe_unused]] const bool kStoreMetricsRegistered = (store_metrics(), true);
+
+/// Trace instants marking store outcomes on the calling lane's timeline
+/// (cache hits explain "why was this task instantaneous" in a sweep trace).
+struct StoreTraceNames {
+  obs::trace::NameId hit = obs::trace::intern("store.hit");
+  obs::trace::NameId miss = obs::trace::intern("store.miss");
+  obs::trace::NameId insert = obs::trace::intern("store.insert");
+};
+
+const StoreTraceNames& store_trace_names() {
+  static const StoreTraceNames n;
+  return n;
+}
 
 std::string digest_hex(std::uint64_t digest) {
   char buf[17];
@@ -214,9 +228,11 @@ std::optional<engine::SweepRecord> ResultStore::lookup(
   const Row* row = find_locked(key);
   if (row == nullptr) {
     sm.lookup_misses.add(1);
+    obs::trace::instant(store_trace_names().miss);
     return std::nullopt;
   }
   sm.lookup_hits.add(1);
+  obs::trace::instant(store_trace_names().hit);
   return row->record;
 }
 
@@ -232,6 +248,7 @@ InsertOutcome ResultStore::insert(const StoreKey& key,
   }
   append_locked(Row{key, record});
   sm.inserted.add(1);
+  obs::trace::instant(store_trace_names().insert);
   return InsertOutcome::kInserted;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "obs/wall_timer.hpp"
 #include "protocol/builders.hpp"
 #include "protocol/compiled.hpp"
@@ -184,6 +185,17 @@ RestartOutcome anneal(const protocol::SystolicSchedule& initial,
         kT0 * std::pow(kTEnd / kT0, static_cast<double>(it) / steps);
     if (delta <= 0.0 || rng.uniform01() < std::exp(-delta / temp)) {
       ++out.accepted;
+      if (obs::trace::enabled()) {
+        // Accepted-move instants plot the anneal's score trajectory on the
+        // restart's lane; rejected proposals stay silent (ring economy).
+        static const auto kAccept = obs::trace::intern("synth.accept");
+        static const auto kIt = obs::trace::intern("it");
+        static const auto kScore = obs::trace::intern("score");
+        obs::trace::instant(
+            kAccept, {{kIt, static_cast<std::int64_t>(it), false},
+                      {kScore, static_cast<std::int64_t>(candidate.score()),
+                       false}});
+      }
       current = candidate;
       if (better(candidate, out.objective)) {
         ++out.improved;
@@ -255,11 +267,19 @@ SynthResult synthesize(const graph::Digraph& g, const SynthOptions& opts) {
   std::vector<RestartOutcome> outcomes(static_cast<std::size_t>(opts.restarts));
   const auto run_one = [&](std::size_t r) {
     const obs::ScopedTimer span(synth_metrics().restart_micros);
+    obs::trace::TraceSpan trace_span(
+        obs::trace::enabled() ? obs::trace::intern("synth.restart") : 0);
     util::Rng rng(util::derive_seed(opts.seed, r));
     const auto initial =
         initial_schedule(g, static_cast<int>(r), coloring, opts, rng);
     outcomes[r] = anneal(initial, pool, membership, max_period, opts,
                          std::move(rng));
+    if (trace_span.armed()) {
+      trace_span.arg(obs::trace::intern("restart"),
+                     static_cast<std::int64_t>(r));
+      trace_span.arg(obs::trace::intern("accepted"), outcomes[r].accepted);
+      trace_span.arg(obs::trace::intern("improved"), outcomes[r].improved);
+    }
   };
   if (opts.threads == 1) {
     for (std::size_t r = 0; r < outcomes.size(); ++r) run_one(r);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "obs/wall_timer.hpp"
 #include "util/parallel.hpp"
 
@@ -36,6 +37,19 @@ PoolMetrics& pool_metrics() {
 /// --metrics snapshots even before the first task runs.
 [[maybe_unused]] const bool kPoolMetricsRegistered = (pool_metrics(), true);
 
+/// Trace names, interned once.  Flow arrows pair a kFlowBegin on the
+/// submitting lane with a kFlowEnd on the executing worker's lane; the
+/// per-task "pool.task" span shows the closure's run on the worker.
+struct PoolTraceNames {
+  obs::trace::NameId submit = obs::trace::intern("pool.submit");
+  obs::trace::NameId task = obs::trace::intern("pool.task");
+};
+
+const PoolTraceNames& pool_trace_names() {
+  static const PoolTraceNames n;
+  return n;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned workers) {
@@ -43,13 +57,22 @@ ThreadPool::ThreadPool(unsigned workers) {
     const unsigned hw = hardware_threads();
     workers = hw > 1 ? hw - 1 : 0;  // the caller is the remaining lane
   }
+  // Pool index for trace lane names: "pool<P>.worker<W>".  In practice P is
+  // almost always 0 (the process-wide instance()), but tests build private
+  // pools and their lanes should stay distinguishable in a trace.
+  static std::atomic<unsigned> next_pool_id{0};
+  const unsigned pool_id = next_pool_id.fetch_add(1, std::memory_order_relaxed);
   queues_.reserve(workers);
   for (unsigned w = 0; w < workers; ++w)
     queues_.push_back(std::make_unique<WorkerQueue>());
   threads_.reserve(workers);
   try {
     for (unsigned w = 0; w < workers; ++w)
-      threads_.emplace_back([this, w] { worker_loop(w); });
+      threads_.emplace_back([this, w, pool_id] {
+        obs::trace::set_this_lane_name("pool" + std::to_string(pool_id) +
+                                       ".worker" + std::to_string(w));
+        worker_loop(w);
+      });
   } catch (...) {
     // Thread creation failed partway (resource exhaustion): shut down the
     // workers already running before the members unwind, else their
@@ -79,6 +102,19 @@ ThreadPool& ThreadPool::instance() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  if (obs::trace::enabled()) {
+    // Arrow tail on the submitting lane now; the wrapper emits the head and
+    // the "pool.task" span on whichever lane executes it.  The extra
+    // std::function hop exists only while tracing is on.
+    const PoolTraceNames& names = pool_trace_names();
+    const std::uint32_t flow = obs::trace::next_flow_id();
+    obs::trace::flow_begin(names.submit, flow);
+    task = [inner = std::move(task), &names, flow] {
+      obs::trace::flow_end(names.submit, flow);
+      obs::trace::TraceSpan span(names.task);
+      inner();
+    };
+  }
   if (queues_.empty()) {  // no workers: run inline
     pool_metrics().submitted.add(1);
     task();

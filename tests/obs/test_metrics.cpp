@@ -103,6 +103,29 @@ TEST(Histogram, QuantilesOfBimodalSample) {
   EXPECT_DOUBLE_EQ(agg.quantile_us(0.99), 1000.0);
 }
 
+TEST(Histogram, OverflowSamplesClampIntoLastBucketAndMovePercentiles) {
+  Histogram& h = histogram("test.obs.histogram.overflow");
+  h.reset();
+  // One tiny sample plus 99 beyond the top bucket's nominal range
+  // [2^38, 2^39): bucket_of clamps them into the last bucket, and p99 must
+  // land near the observed max, not under the nominal 2^39 edge.
+  const std::uint64_t huge = std::uint64_t{1} << 50;
+  h.record_micros(1);
+  for (int i = 0; i < 99; ++i) h.record_micros(huge);
+  const Histogram::Agg agg = h.aggregate();
+  EXPECT_EQ(agg.count, 100u);
+  EXPECT_EQ(agg.buckets[Histogram::kBuckets - 1], 99u);
+  EXPECT_EQ(agg.max_us, huge);
+  const double p99 = agg.quantile_us(0.99);
+  // Regression: interpolating within the nominal top-bucket range capped
+  // the estimate at 2^39 ~ 5.5e11, a ~2000x underestimate of the 2^50
+  // samples that dominate this distribution.
+  EXPECT_GT(p99, static_cast<double>(std::uint64_t{1} << 39));
+  EXPECT_LE(p99, static_cast<double>(huge));
+  // p50 sits inside the overflow mass too.
+  EXPECT_GT(agg.quantile_us(0.50), static_cast<double>(std::uint64_t{1} << 38));
+}
+
 TEST(Histogram, EmptyAggregateIsAllZero) {
   Histogram& h = histogram("test.obs.histogram.empty");
   h.reset();

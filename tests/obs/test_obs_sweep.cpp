@@ -10,6 +10,7 @@
 #include "engine/sweep.hpp"
 #include "io/sweep_io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sysgo::engine {
 namespace {
@@ -46,6 +47,34 @@ TEST(ObsSweep, RecordsAreIdenticalWithMetricsOnAndOff) {
   for (std::size_t i = 0; i < on.size(); ++i)
     EXPECT_TRUE(same_result(on[i], off[i])) << "record " << i << " diverged";
   EXPECT_EQ(timeless_rows(on), timeless_rows(off));
+}
+
+TEST(ObsSweep, RecordsAreIdenticalWithTracingOnAndOff) {
+  // The tracing analog of the metrics contract: span recording must never
+  // feed results.  A threaded run exercises the pool's flow-arrow wrapping
+  // and the per-task spans while the records stay byte-identical.
+  const ScenarioSpec spec = small_spec();
+  SweepOptions opts;
+  opts.threads = 4;
+  obs::trace::set_enabled(true);
+  const auto on = SweepRunner(opts).run(spec);
+  obs::trace::set_enabled(false);
+  const auto off = SweepRunner(opts).run(spec);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i)
+    EXPECT_TRUE(same_result(on[i], off[i])) << "record " << i << " diverged";
+  EXPECT_EQ(timeless_rows(on), timeless_rows(off));
+  // And the traced run actually recorded engine spans.
+  const auto dump = obs::trace::drain();
+  std::size_t engine_spans = 0;
+  for (const auto& lane : dump.lanes)
+    for (const auto& e : lane.events)
+      if (e.kind == obs::trace::EventKind::kComplete &&
+          e.name < dump.strings.size() &&
+          dump.strings[e.name].rfind("engine.task.", 0) == 0)
+        ++engine_spans;
+  EXPECT_GT(engine_spans, 0u);
+  obs::trace::reset_for_testing();
 }
 
 TEST(ObsSweep, EngineCountersTrackCompletedJobs) {

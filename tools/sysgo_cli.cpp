@@ -11,9 +11,13 @@
 //   sysgo simulate <schedule-file> [max]  measured gossip time
 //   sysgo topology <name> <d> <D>         emit a network as sysgo-digraph
 //   sysgo metrics dump                    render the obs metric catalog
+//   sysgo trace report <PATH>             analyze a saved span trace
 //
-// sweep/solve/synth accept --metrics PATH (write an obs snapshot at exit)
-// and --progress (throttled stderr heartbeat with ETA and cache hit rate).
+// sweep/solve/synth accept --metrics PATH (write an obs snapshot at exit),
+// --progress (throttled stderr heartbeat with ETA and cache hit rate), and
+// --trace PATH (record a span timeline: Chrome trace-event JSON for *.json,
+// binary flight-recorder bytes otherwise; analyze with `sysgo trace
+// report`).
 //
 // Schedule files use the io/protocol_text format ("sysgo-schedule v1").
 // All numeric flags go through util/parse: garbage ("--threads 4x"),
@@ -22,6 +26,9 @@
 // std::atoi paths) or reported as a bare "stoi" (the old std::stoi paths).
 #include <atomic>
 #include <cstdio>
+#if !defined(_WIN32)
+#include <unistd.h>  // isatty: --progress suppresses \r off a TTY
+#endif
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -42,6 +49,8 @@
 #include "io/protocol_text.hpp"
 #include "io/sweep_io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_report.hpp"
 #include "obs/wall_timer.hpp"
 #include "simulator/gossip_sim.hpp"
 #include "store/result_store.hpp"
@@ -65,7 +74,7 @@ int usage() {
                "              [--format csv|json] [--max-rounds M] "
                "[--seed S] [--no-cache]\n"
                "              [--store PATH] [--resume] [--shard i/m]\n"
-               "              [--metrics PATH] [--progress]\n"
+               "              [--metrics PATH] [--progress] [--trace PATH]\n"
                "      families: bf wbf-dir wbf db-dir db kautz-dir kautz "
                "cycle complete hypercube ccc se knodel rr gnp\n"
                "      (rr/gnp are seeded random members; --seed picks the "
@@ -86,6 +95,10 @@ int usage() {
                "CSV for *.csv)\n"
                "      --progress     throttled stderr heartbeat: done/total, "
                "ETA, cache hit rate\n"
+               "      --trace PATH   record a span timeline: Chrome "
+               "trace-event JSON for *.json\n"
+               "                     (chrome://tracing / Perfetto), binary "
+               "flight bytes otherwise\n"
                "  sysgo solve [--families f1,..] [--d 2] [--D lo:hi] "
                "[--modes half,full]\n"
                "              [--problems gossip,broadcast] [--threads N] "
@@ -94,6 +107,7 @@ int usage() {
                "csv|json] [--no-cache]\n"
                "              [--store PATH] [--resume] [--shard i/m] "
                "[--metrics PATH] [--progress]\n"
+               "              [--trace PATH]\n"
                "      exact optima via the symmetry-reduced search (n <= 12;\n"
                "      default: cycle, D=4:9, both modes, both problems)\n"
                "  sysgo synth [--families f1,..] [--d 2] [--D lo:hi] "
@@ -105,6 +119,7 @@ int usage() {
                "              [--format csv|json] [--no-cache]\n"
                "              [--store PATH] [--resume] [--shard i/m] "
                "[--metrics PATH] [--progress]\n"
+               "              [--trace PATH]\n"
                "      multi-start annealing schedule synthesis (src/synth/);\n"
                "      default: db,kautz, d=2, D=3:5, half duplex\n"
                "  sysgo store merge --out OUT IN1 [IN2 ...]\n"
@@ -118,7 +133,12 @@ int usage() {
                "  sysgo topology <family> <d> <D>\n"
                "  sysgo metrics dump [--format json|csv]\n"
                "      render the metric catalog (zeros in a fresh process) — "
-               "the --metrics schema\n");
+               "the --metrics schema\n"
+               "  sysgo trace report <PATH> [--top K]\n"
+               "      analyze a --trace file (JSON or flight binary): "
+               "critical path,\n"
+               "      per-worker utilization, span-duration top-K, per-stage "
+               "breakdown\n");
   return 2;
 }
 
@@ -239,15 +259,21 @@ struct StreamConfig {
   sysgo::util::ShardSpec shard{};  // --shard i/m (1/1 = whole grid)
   std::string metrics_path;  // --metrics: obs snapshot written at exit
   bool progress = false;     // --progress: stderr heartbeat
+  std::string trace_path;    // --trace: span trace written at exit
 };
 
 /// Throttled stderr heartbeat (--progress): done/total, percentage, elapsed
 /// and estimated remaining wall-clock, plus the artifact-cache hit rate so
 /// far.  tick() runs inside on_record callbacks — possibly concurrently —
 /// and prints at most every ~500 ms (the final record always prints).
+///
+/// On a TTY intermediate lines rewrite in place with '\r'; anywhere else
+/// (CI logs, redirects) every line is newline-terminated.  finish() always
+/// prints a final newline-terminated 100% summary.
 class ProgressMeter {
  public:
-  explicit ProgressMeter(std::size_t total) : total_(total) {}
+  explicit ProgressMeter(std::size_t total)
+      : total_(total), tty_(stderr_is_tty()) {}
 
   /// The runner is constructed after the callbacks are wired; attach()
   /// before run_jobs so ticks can read its cache stats.
@@ -259,7 +285,30 @@ class ProgressMeter {
     std::lock_guard<std::mutex> lock(mutex_);
     const double ms = timer_.millis();
     if (done < total_ && ms - last_print_ms_ < 500.0) return;
+    // Off a TTY every line is permanent; finish() owns the 100% summary.
+    if (done == total_ && !tty_) return;
     last_print_ms_ = ms;
+    print_line(done, ms, /*final=*/false);
+  }
+
+  /// Unconditional completion summary (and the '\n' that closes a TTY's
+  /// rewritten line).  Call once, after the run.
+  void finish() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    print_line(done_.load(std::memory_order_relaxed), timer_.millis(),
+               /*final=*/true);
+  }
+
+ private:
+  static bool stderr_is_tty() {
+#if defined(_WIN32)
+    return false;
+#else
+    return isatty(fileno(stderr)) != 0;
+#endif
+  }
+
+  void print_line(std::size_t done, double ms, bool final) {
     const double pct =
         total_ > 0 ? 100.0 * static_cast<double>(done) /
                          static_cast<double>(total_)
@@ -275,14 +324,16 @@ class ProgressMeter {
         hit_pct = 100.0 * static_cast<double>(cs.hits) /
                   static_cast<double>(cs.hits + cs.misses);
     }
+    // Trailing spaces on the TTY rewrite path cover a shrinking line.
     std::fprintf(stderr,
-                 "progress: %zu/%zu (%.0f%%) elapsed=%.1fs eta=%.1fs "
-                 "cache-hit=%.0f%%\n",
-                 done, total_, pct, ms / 1000.0, eta_s, hit_pct);
+                 "%sprogress: %zu/%zu (%.0f%%) elapsed=%.1fs eta=%.1fs "
+                 "cache-hit=%.0f%%%s",
+                 tty_ ? "\r" : "", done, total_, pct, ms / 1000.0, eta_s,
+                 hit_pct, tty_ && !final ? "   " : "\n");
   }
 
- private:
   const std::size_t total_;
+  const bool tty_;
   const sysgo::engine::SweepRunner* runner_ = nullptr;
   std::atomic<std::size_t> done_{0};
   std::mutex mutex_;
@@ -314,6 +365,12 @@ int stream_spec(const sysgo::engine::ScenarioSpec& spec,
   }
   OrderedEmitter emitter;
   ProgressMeter meter(jobs.size());
+  if (!cfg.trace_path.empty()) {
+    // Recording starts here, so the trace covers exactly this run; the
+    // caller's lane is "main" (workers name theirs on startup).
+    sysgo::obs::trace::set_this_lane_name("main");
+    sysgo::obs::trace::set_enabled(true);
+  }
   if (cfg.json) {
     std::fprintf(stderr, "seed: %llu\n",
                  static_cast<unsigned long long>(spec.limits.seed));
@@ -335,6 +392,12 @@ int stream_spec(const sysgo::engine::ScenarioSpec& spec,
   engine::SweepRunner runner(opts);
   meter.attach(&runner);
   const auto records = runner.run_jobs(jobs, spec.limits);
+  if (cfg.progress) meter.finish();
+  if (!cfg.trace_path.empty()) {
+    sysgo::obs::trace::set_enabled(false);
+    sysgo::obs::trace::write_trace_file(cfg.trace_path);
+    std::fprintf(stderr, "trace: wrote %s\n", cfg.trace_path.c_str());
+  }
   if (cfg.json) std::fputs("]\n", stdout);
   const auto stats = runner.cache_stats();
   const double hit_pct =
@@ -444,6 +507,8 @@ int cmd_sweep(int argc, char** argv) {
       cfg.metrics_path = value();
     } else if (flag == "--progress") {
       cfg.progress = true;
+    } else if (flag == "--trace") {
+      cfg.trace_path = value();
     } else {
       std::fprintf(stderr, "unknown sweep flag: %s\n", flag.c_str());
       return usage();
@@ -542,6 +607,8 @@ int cmd_solve(int argc, char** argv) {
         cfg.metrics_path = value();
       } else if (flag == "--progress") {
         cfg.progress = true;
+      } else if (flag == "--trace") {
+        cfg.trace_path = value();
       } else {
         std::fprintf(stderr, "unknown solve flag: %s\n", flag.c_str());
         return usage();
@@ -630,6 +697,8 @@ int cmd_synth(int argc, char** argv) {
         cfg.metrics_path = value();
       } else if (flag == "--progress") {
         cfg.progress = true;
+      } else if (flag == "--trace") {
+        cfg.trace_path = value();
       } else {
         std::fprintf(stderr, "unknown synth flag: %s\n", flag.c_str());
         return usage();
@@ -774,6 +843,37 @@ int cmd_metrics(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------- trace
+
+/// `sysgo trace report <PATH> [--top K]`: parse a saved trace (Chrome JSON
+/// or flight binary, auto-detected) and print the derived tables — critical
+/// path, per-worker utilization, top-K spans, per-stage breakdown.
+int cmd_trace(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[0], "report") != 0) return usage();
+  const std::string path = argv[1];
+  sysgo::obs::trace::ReportOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--top") {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("missing value for --top");
+      opts.top_k = static_cast<std::size_t>(
+          sysgo::util::parse_int_in(argv[++i], flag, {1, 1 << 20}));
+    } else {
+      std::fprintf(stderr, "unknown trace flag: %s\n", flag.c_str());
+      return usage();
+    }
+  }
+  std::ifstream in(path, std::ios::binary);  // flight bytes are binary
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto dump = sysgo::obs::trace::parse_trace(buf.str());
+  const auto report = sysgo::obs::trace::analyze(dump, opts);
+  std::fputs(sysgo::obs::trace::report_text(report).c_str(), stdout);
+  return 0;
+}
+
 int cmd_topology(int argc, char** argv) {
   if (argc < 3) return usage();
   const int d = sysgo::util::parse_int_in(argv[1], "<d>", {1, 1 << 20});
@@ -805,6 +905,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "topology") return cmd_topology(argc - 2, argv + 2);
     if (cmd == "metrics") return cmd_metrics(argc - 2, argv + 2);
+    if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
