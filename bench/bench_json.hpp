@@ -5,11 +5,15 @@
 //
 //   {"sysgo_bench": 1, "name": ..., "context": {num_cpus, cpu_ghz},
 //    "benchmarks": {"<bench>": {"time_unit": "ms", "reps": k,
-//                               "median_real_time": x, "p90_real_time": y}}}
+//                               "median_real_time": x, "p90_real_time": y,
+//                               "counters": {"moves/s": m, ...}}}}
 //
 // Repetition samples come from the per-repetition (RT_Iteration) runs; with
 // the default single repetition, median == p90 == the one measurement.
 // Quantiles are nearest-rank, matching obs::Histogram's convention.
+// User counters (rates like rows/s, moves/s) arrive already finalized by
+// the benchmark library and are reported as per-counter medians; the
+// "counters" key is omitted for counter-less benchmarks.
 #pragma once
 
 #include <algorithm>
@@ -32,6 +36,9 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
   struct Series {
     std::string time_unit;
     std::vector<double> real_times;  // one entry per repetition
+    // Counter samples per name, one entry per repetition (already
+    // rate-adjusted by the benchmark library).
+    std::map<std::string, std::vector<double>> counters;
   };
 
   bool ReportContext(const Context& context) override {
@@ -46,6 +53,8 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       Series& s = series_[run.benchmark_name()];
       s.time_unit = benchmark::GetTimeUnitString(run.time_unit);
       s.real_times.push_back(run.GetAdjustedRealTime());
+      for (const auto& [cname, counter] : run.counters)
+        s.counters[cname].push_back(counter.value);
     }
     ConsoleReporter::ReportRuns(reports);
   }
@@ -92,7 +101,18 @@ inline std::string render_json(const std::string& name,
         << "\", \"reps\": " << s.real_times.size()
         << ", \"median_real_time\": ";
     num(sample_quantile(s.real_times, 0.50)) << ", \"p90_real_time\": ";
-    num(sample_quantile(s.real_times, 0.90)) << "}";
+    num(sample_quantile(s.real_times, 0.90));
+    if (!s.counters.empty()) {
+      out << ", \"counters\": {";
+      bool cfirst = true;
+      for (const auto& [cname, samples] : s.counters) {
+        out << (cfirst ? "" : ", ") << "\"" << cname << "\": ";
+        num(sample_quantile(samples, 0.50));
+        cfirst = false;
+      }
+      out << "}";
+    }
+    out << "}";
     first = false;
   }
   out << (rep.series().empty() ? "" : "\n  ") << "}\n}\n";

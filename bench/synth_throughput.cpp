@@ -1,6 +1,18 @@
 // Synthesis throughput: annealing moves per second, plus best-objective
 // trajectories (coloring baseline → short budget → long budget) over the
 // fig5/fig6 corpus families.
+//
+// The perf-PR arms:
+//   synth/kernel/<scalar|avx2|avx512>/...  whole synthesize runs under each
+//                                          row kernel (moves/s)
+//   eval-per-move/compiled/...             one objective evaluation per move
+//                                          through compile-then-evaluate —
+//                                          the annealer's old hot path
+//   eval-per-move/draft/...                the same evaluation through
+//                                          DraftEvaluator (no compile, no
+//                                          allocation) — the current path
+// Both eval-per-move arms report moves/s, so the speedup is the ratio of
+// the two counters in BENCH_synth_throughput.json.
 #include <benchmark/benchmark.h>
 
 #include "bench_json.hpp"
@@ -11,6 +23,9 @@
 #include "protocol/builders.hpp"
 #include "protocol/compiled.hpp"
 #include "simulator/gossip_sim.hpp"
+#include "simulator/kernels.hpp"
+#include "synth/draft.hpp"
+#include "synth/objective.hpp"
 #include "synth/synthesizer.hpp"
 #include "topology/topology.hpp"
 #include "util/table.hpp"
@@ -111,6 +126,96 @@ BENCHMARK(BM_SynthParallelRestarts)
     ->Arg(2)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+struct EvalMember {
+  sysgo::topology::Family family;
+  int d, D;
+};
+
+const std::vector<EvalMember>& eval_corpus() {
+  static const std::vector<EvalMember> kCorpus = {
+      {sysgo::topology::Family::kDeBruijn, 2, 4},
+      {sysgo::topology::Family::kDeBruijn, 2, 5},
+      {sysgo::topology::Family::kKautz, 2, 4},
+  };
+  return kCorpus;
+}
+
+void BM_SynthKernel(benchmark::State& state, EvalMember m,
+                    sysgo::simulator::KernelKind kind) {
+  const sysgo::simulator::ScopedKernel scoped(kind);
+  const auto g = sysgo::topology::make_family(m.family, m.d, m.D);
+  SynthOptions opts;
+  opts.restarts = 2;
+  opts.iterations = 1000;
+  opts.threads = 1;
+  std::int64_t moves = 0;
+  for (auto _ : state) {
+    const auto res = sysgo::synth::synthesize(g, opts);
+    moves += res.moves_proposed;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["moves/s"] = benchmark::Counter(
+      static_cast<double>(moves), benchmark::Counter::kIsRate);
+}
+
+// One objective evaluation per annealing move, old path vs new: compiled
+// re-builds the CompiledSchedule from the draft every move (what the
+// annealer did before DraftEvaluator); draft scores the draft in place.
+// Identical objectives — the differential suite pins that — so the moves/s
+// ratio is pure overhead removed.
+void BM_EvalPerMoveCompiled(benchmark::State& state, EvalMember m) {
+  const auto g = sysgo::topology::make_family(m.family, m.d, m.D);
+  const auto draft = sysgo::synth::ScheduleDraft::from_schedule(
+      sysgo::protocol::edge_coloring_schedule(g, Mode::kHalfDuplex));
+  const sysgo::synth::ObjectiveOptions opts;
+  for (auto _ : state) {
+    const auto obj = sysgo::synth::evaluate(
+        sysgo::protocol::CompiledSchedule::compile(draft.to_schedule(), &g),
+        opts);
+    benchmark::DoNotOptimize(obj);
+  }
+  state.counters["moves/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_EvalPerMoveDraft(benchmark::State& state, EvalMember m) {
+  const auto g = sysgo::topology::make_family(m.family, m.d, m.D);
+  const auto draft = sysgo::synth::ScheduleDraft::from_schedule(
+      sysgo::protocol::edge_coloring_schedule(g, Mode::kHalfDuplex));
+  const sysgo::synth::ObjectiveOptions opts;
+  sysgo::synth::DraftEvaluator evaluator;
+  for (auto _ : state) {
+    const auto obj = evaluator.evaluate(draft, opts);
+    benchmark::DoNotOptimize(obj);
+  }
+  state.counters["moves/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+const bool kPerfArmsRegistered = [] {
+  for (const EvalMember& m : eval_corpus()) {
+    const std::string tag = sysgo::topology::family_name(m.family, m.d) +
+                            "_D" + std::to_string(m.D);
+    for (int k = 0; k < sysgo::simulator::kKernelKindCount; ++k) {
+      const auto kind = static_cast<sysgo::simulator::KernelKind>(k);
+      if (!sysgo::simulator::kernel_supported(kind)) continue;
+      benchmark::RegisterBenchmark(
+          ("synth/kernel/" +
+           std::string(sysgo::simulator::kernel_name(kind)) + "/" + tag)
+              .c_str(),
+          BM_SynthKernel, m, kind)
+          ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark(("eval-per-move/compiled/" + tag).c_str(),
+                                 BM_EvalPerMoveCompiled, m)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("eval-per-move/draft/" + tag).c_str(),
+                                 BM_EvalPerMoveDraft, m)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  return true;
+}();
 
 }  // namespace
 

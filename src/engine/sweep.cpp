@@ -13,6 +13,7 @@
 #include "search/solver.hpp"
 #include "search/state.hpp"
 #include "separator/separator.hpp"
+#include "simulator/batch.hpp"
 #include "simulator/gossip_sim.hpp"
 #include "store/result_store.hpp"
 #include "synth/synthesizer.hpp"
@@ -216,8 +217,12 @@ SweepRecord SweepRunner::run_job_impl(const SweepJob& job,
       r.s = art->compiled.period_length();
       simulator::GossipOptions gopts;
       gopts.parallel = limits.simulate_parallel_rounds;
-      r.rounds = simulator::gossip_time(art->compiled,
-                                        limits.simulate_max_rounds, gopts);
+      // One scratch matrix per worker thread for the whole sweep — simulate
+      // jobs over a size band stop paying an allocation each.  Results are
+      // identical to the per-call gossip_time (same code path underneath).
+      thread_local simulator::GossipArena arena;
+      r.rounds = simulator::gossip_time(
+          art->compiled, limits.simulate_max_rounds, gopts, arena);
       break;
     }
     case Task::kAudit: {
@@ -373,8 +378,9 @@ std::vector<CaseRecord> run_cases(const std::vector<ScheduleCase>& cases,
                              r.s = c.schedule.period_length();
                              const auto compiled =
                                  protocol::CompiledSchedule::compile(c.schedule);
-                             r.measured =
-                                 simulator::gossip_time(compiled, c.max_rounds);
+                             thread_local simulator::GossipArena arena;
+                             r.measured = simulator::gossip_time(
+                                 compiled, c.max_rounds, {}, arena);
                              r.audit = core::audit_schedule(compiled);
                              r.millis = timer.millis();
                            });

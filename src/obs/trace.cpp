@@ -89,7 +89,11 @@ std::atomic<std::size_t>& ring_capacity() noexcept {
 }
 
 thread_local Lane* t_lane = nullptr;
-thread_local std::string* t_pending_name = nullptr;
+// Name chosen before the lane exists (pool workers name themselves at
+// startup).  Held by value so a thread that never emits an event — and
+// therefore never creates a lane — still releases it at thread exit.
+thread_local bool t_pending_name_set = false;
+thread_local std::string t_pending_name;
 
 Lane& this_lane() {
   if (t_lane != nullptr) return *t_lane;
@@ -100,11 +104,11 @@ Lane& this_lane() {
   lane->mask = cap - 1;
   LaneRegistry& reg = lane_registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
-  lane->name = t_pending_name != nullptr
-                   ? *t_pending_name
+  lane->name = t_pending_name_set
+                   ? t_pending_name
                    : "lane-" + std::to_string(reg.lanes.size());
-  delete t_pending_name;
-  t_pending_name = nullptr;
+  t_pending_name_set = false;
+  t_pending_name.clear();
   t_lane = lane.get();
   reg.lanes.push_back(std::move(lane));
   return *t_lane;
@@ -202,8 +206,8 @@ void set_this_lane_name(std::string_view name) {
     t_lane->name = std::string(name);
     return;
   }
-  if (t_pending_name == nullptr) t_pending_name = new std::string;
-  *t_pending_name = std::string(name);
+  t_pending_name_set = true;
+  t_pending_name.assign(name.data(), name.size());
 }
 
 std::uint32_t next_flow_id() noexcept {

@@ -1,16 +1,38 @@
 #include "simulator/knowledge.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <bit>
+
+#include "simulator/kernels.hpp"
 
 namespace sysgo::simulator {
+
+namespace {
+
+/// Words per row rounded up to a whole cache line (8 x 64-bit words), so
+/// row starts stay 64-byte aligned and the kernels never take a tail path
+/// on this storage.  Padding words hold zeros forever: learn() only sets
+/// bits below n, and OR-merges of zeros are zeros.
+constexpr std::size_t aligned_stride(std::size_t words) {
+  return (words + 7) / 8 * 8;
+}
+
+}  // namespace
 
 KnowledgeMatrix::KnowledgeMatrix(int n)
     : n_(n),
       words_((static_cast<std::size_t>(n) + 63) / 64),
-      bits_(static_cast<std::size_t>(n) * words_, 0),
+      stride_(aligned_stride(words_)),
+      bits_(static_cast<std::size_t>(n) * stride_, 0),
       counts_(static_cast<std::size_t>(n), 0) {
   for (int v = 0; v < n; ++v) learn(v, v);  // each processor starts with its item
+}
+
+void KnowledgeMatrix::reset() noexcept {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  full_rows_ = 0;
+  for (int v = 0; v < n_; ++v) learn(v, v);
 }
 
 void KnowledgeMatrix::bump(int v, int added) noexcept {
@@ -36,54 +58,52 @@ void KnowledgeMatrix::learn(int v, int i) noexcept {
 }
 
 void KnowledgeMatrix::merge_into(int dst, int src) noexcept {
-  std::uint64_t* d = row_ptr(dst);
-  const std::uint64_t* s = row_ptr(src);
-  int added = 0;
-  for (std::size_t w = 0; w < words_; ++w) {
-    const std::uint64_t u = d[w] | s[w];
-    added += std::popcount(u) - std::popcount(d[w]);
-    d[w] = u;
-  }
-  bump(dst, added);
+  bump(dst, kernels().merge_delta(row_ptr(dst), row_ptr(src), stride_));
 }
 
 void KnowledgeMatrix::merge_both(int a, int b) noexcept {
-  std::uint64_t* ra = row_ptr(a);
-  std::uint64_t* rb = row_ptr(b);
-  int added_a = 0;
-  int added_b = 0;
-  for (std::size_t w = 0; w < words_; ++w) {
-    const std::uint64_t u = ra[w] | rb[w];
-    const int pu = std::popcount(u);
-    added_a += pu - std::popcount(ra[w]);
-    added_b += pu - std::popcount(rb[w]);
-    ra[w] = u;
-    rb[w] = u;
-  }
-  bump(a, added_a);
-  bump(b, added_b);
+  int deltas[2];
+  kernels().merge_both_delta(row_ptr(a), row_ptr(b), stride_, deltas);
+  bump(a, deltas[0]);
+  bump(b, deltas[1]);
 }
 
 void KnowledgeMatrix::merge_arcs(std::span<const graph::Arc> arcs) noexcept {
+  // One kernel fetch and one base/stride resolution for the whole span —
+  // the per-arc work is two pointer adds and the kernel call.
+  const RowKernels& k = kernels();
+  std::uint64_t* const base = bits_.data();
+  const std::size_t stride = stride_;
   for (const graph::Arc& a : arcs) {
     // A full head row can gain nothing; its tail row is never written
     // within a matching round, so the count read is stable.
     if (counts_[static_cast<std::size_t>(a.head)] == n_) continue;
-    merge_into(a.head, a.tail);
+    const int added =
+        k.merge_delta(base + static_cast<std::size_t>(a.head) * stride,
+                      base + static_cast<std::size_t>(a.tail) * stride, stride);
+    bump(a.head, added);
   }
 }
 
 void KnowledgeMatrix::merge_pairs(std::span<const graph::Arc> pairs) noexcept {
+  const RowKernels& k = kernels();
+  std::uint64_t* const base = bits_.data();
+  const std::size_t stride = stride_;
   for (const graph::Arc& p : pairs) {
+    std::uint64_t* const ra = base + static_cast<std::size_t>(p.tail) * stride;
+    std::uint64_t* const rb = base + static_cast<std::size_t>(p.head) * stride;
     const bool a_full = counts_[static_cast<std::size_t>(p.tail)] == n_;
     const bool b_full = counts_[static_cast<std::size_t>(p.head)] == n_;
     if (a_full && b_full) continue;
     if (a_full) {
-      merge_into(p.head, p.tail);
+      bump(p.head, k.merge_delta(rb, ra, stride));
     } else if (b_full) {
-      merge_into(p.tail, p.head);
+      bump(p.tail, k.merge_delta(ra, rb, stride));
     } else {
-      merge_both(p.tail, p.head);
+      int deltas[2];
+      k.merge_both_delta(ra, rb, stride, deltas);
+      bump(p.tail, deltas[0]);
+      bump(p.head, deltas[1]);
     }
   }
 }

@@ -1,6 +1,9 @@
 // Knowledge state of a gossip run: one bitset row per processor recording
-// which of the n items it currently holds.  Rows are 64-bit word packed so
-// a round's merges are word-parallel OR loops.
+// which of the n items it currently holds.  Rows are 64-bit word packed and
+// stored at a 64-byte-aligned stride (words rounded up to a cache line;
+// padding words are always zero), so a round's merges are single kernel
+// calls — simulator/kernels dispatches them to the widest SIMD ISA the host
+// supports, and vector loads never split a cache line.
 //
 // Per-row item counts and the number of full rows are maintained
 // incrementally by every mutation, so count / row_full / all_full are O(1)
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "util/aligned.hpp"
 
 namespace sysgo::simulator {
 
@@ -24,6 +28,13 @@ class KnowledgeMatrix {
   explicit KnowledgeMatrix(int n);
 
   [[nodiscard]] int size() const noexcept { return n_; }
+
+  /// Logical words per row (ceil(n / 64)); the aligned stride may be wider.
+  [[nodiscard]] std::size_t words() const noexcept { return words_; }
+
+  /// Re-initialize to the identity start state (each processor holds its
+  /// own item) without reallocating — the arena/evaluator reuse hook.
+  void reset() noexcept;
 
   /// Does vertex v know item i?
   [[nodiscard]] bool knows(int v, int i) const noexcept;
@@ -58,24 +69,27 @@ class KnowledgeMatrix {
   /// All vertices know all items.  O(1).
   [[nodiscard]] bool all_full() const noexcept { return full_rows_ == n_; }
 
+  /// Row v's logical words.  The data pointer is 64-byte aligned for every
+  /// row (regression-tested for n in 1..200).
   [[nodiscard]] std::span<const std::uint64_t> row(int v) const noexcept {
-    return {bits_.data() + static_cast<std::size_t>(v) * words_, words_};
+    return {bits_.data() + static_cast<std::size_t>(v) * stride_, words_};
   }
 
  private:
   [[nodiscard]] std::uint64_t* row_ptr(int v) noexcept {
-    return bits_.data() + static_cast<std::size_t>(v) * words_;
+    return bits_.data() + static_cast<std::size_t>(v) * stride_;
   }
   [[nodiscard]] const std::uint64_t* row_ptr(int v) const noexcept {
-    return bits_.data() + static_cast<std::size_t>(v) * words_;
+    return bits_.data() + static_cast<std::size_t>(v) * stride_;
   }
 
   /// Record `added` new items on row v (atomic full-row bookkeeping).
   void bump(int v, int added) noexcept;
 
   int n_ = 0;
-  std::size_t words_ = 0;
-  std::vector<std::uint64_t> bits_;
+  std::size_t words_ = 0;   // logical words per row: ceil(n / 64)
+  std::size_t stride_ = 0;  // allocated words per row: words_ rounded to 8
+  util::CacheAlignedVector<std::uint64_t> bits_;
   std::vector<int> counts_;  // items known per row
   int full_rows_ = 0;        // rows with counts_[v] == n_
 };

@@ -12,10 +12,11 @@ namespace sysgo::synth {
 namespace {
 
 /// Gossip run with coverage: like simulator::gossip_time, but reports how
-/// many items landed when the cap is hit.
-void run_gossip_objective(const protocol::CompiledSchedule& cs, int max_rounds,
+/// many items landed when the cap is hit.  `know` arrives in the identity
+/// start state (freshly built or arena-reset).
+void run_gossip_objective(const protocol::CompiledSchedule& cs,
+                          simulator::KnowledgeMatrix& know, int max_rounds,
                           Objective& obj) {
-  simulator::KnowledgeMatrix know(cs.n());
   if (know.all_full()) {  // n == 1
     obj.feasible = true;
     obj.rounds = 0;
@@ -41,11 +42,12 @@ void run_gossip_objective(const protocol::CompiledSchedule& cs, int max_rounds,
 /// a head learns what its tail knew at the *start* of the round (a
 /// matching's merges are independent, so a two-phase sweep suffices).
 void run_broadcast_objective(const protocol::CompiledSchedule& cs, int source,
-                             int max_rounds, Objective& obj) {
+                             int max_rounds, std::vector<char>& known,
+                             Objective& obj) {
   const int n = cs.n();
   if (source < 0 || source >= n)
     throw std::invalid_argument("synth::evaluate: broadcast source out of range");
-  std::vector<char> known(static_cast<std::size_t>(n), 0);
+  known.assign(static_cast<std::size_t>(n), 0);
   known[static_cast<std::size_t>(source)] = 1;
   int reached = 1;
   if (reached == n) {
@@ -78,6 +80,30 @@ void run_broadcast_objective(const protocol::CompiledSchedule& cs, int source,
   obj.coverage = reached;
 }
 
+/// The shared body of evaluate / evaluate_batch: period/links bookkeeping,
+/// the goal run through the given scratch, and the optional audit term.
+Objective evaluate_with_scratch(const protocol::CompiledSchedule& cs,
+                                const ObjectiveOptions& opts,
+                                simulator::GossipArena& arena,
+                                std::vector<char>& reach) {
+  cs.require_periodic("synth::evaluate");
+  Objective obj;
+  obj.period = cs.period_length();
+  obj.links = static_cast<int>(cs.mode() == protocol::Mode::kFullDuplex
+                                   ? cs.arc_total() / 2
+                                   : cs.arc_total());
+  if (opts.goal == Goal::kGossip)
+    run_gossip_objective(cs, arena.acquire(cs.n()), opts.max_rounds, obj);
+  else
+    run_broadcast_objective(cs, opts.source, opts.max_rounds, reach, obj);
+  if (opts.audit_gap && opts.goal == Goal::kGossip && obj.feasible) {
+    const auto audit = core::audit_schedule(cs);
+    obj.audit_gap = static_cast<double>(obj.rounds - audit.round_lower_bound);
+    if (obj.audit_gap < 0.0) obj.audit_gap = 0.0;  // audit is a lower bound
+  }
+  return obj;
+}
+
 }  // namespace
 
 double Objective::score() const noexcept {
@@ -105,20 +131,110 @@ bool better(const Objective& a, const Objective& b) noexcept {
 
 Objective evaluate(const protocol::CompiledSchedule& cs,
                    const ObjectiveOptions& opts) {
-  cs.require_periodic("synth::evaluate");
+  simulator::GossipArena arena;
+  std::vector<char> reach;
+  return evaluate_with_scratch(cs, opts, arena, reach);
+}
+
+std::vector<Objective> evaluate_batch(
+    std::span<const protocol::CompiledSchedule* const> batch,
+    const ObjectiveOptions& opts) {
+  simulator::GossipArena arena;
+  std::vector<char> reach;
+  std::vector<Objective> out;
+  out.reserve(batch.size());
+  for (const protocol::CompiledSchedule* cs : batch)
+    out.push_back(evaluate_with_scratch(*cs, opts, arena, reach));
+  return out;
+}
+
+// ------------------------------------------------------------ DraftEvaluator
+
+Objective DraftEvaluator::evaluate(const ScheduleDraft& draft,
+                                   const ObjectiveOptions& opts) {
+  const int n = draft.n();
+  const int period = draft.period();
+  const bool full = draft.mode() == protocol::Mode::kFullDuplex;
   Objective obj;
-  obj.period = cs.period_length();
-  obj.links = static_cast<int>(cs.mode() == protocol::Mode::kFullDuplex
-                                   ? cs.arc_total() / 2
-                                   : cs.arc_total());
-  if (opts.goal == Goal::kGossip)
-    run_gossip_objective(cs, opts.max_rounds, obj);
-  else
-    run_broadcast_objective(cs, opts.source, opts.max_rounds, obj);
+  obj.period = period;
+  obj.links = static_cast<int>(draft.total_links());
+
+  if (opts.goal == Goal::kGossip) {
+    simulator::KnowledgeMatrix& know = arena_.acquire(n);
+    if (know.all_full()) {  // n == 1
+      obj.feasible = true;
+      obj.rounds = 0;
+      obj.coverage = n;
+    } else {
+      int r = 0;
+      for (int i = 1; i <= opts.max_rounds; ++i) {
+        // Draft links are the compiled work list: half-duplex rounds are
+        // their directed arcs, full-duplex rounds their tail < head pair
+        // representatives.  Merge order within a matching is irrelevant,
+        // so skipping canonicalization changes nothing.
+        const std::vector<graph::Arc>& links = draft.links(r);
+        if (full)
+          know.merge_pairs(links);
+        else
+          know.merge_arcs(links);
+        if (know.all_full()) {
+          obj.feasible = true;
+          obj.rounds = i;
+          obj.coverage = n * n;
+          break;
+        }
+        if (++r == period) r = 0;
+      }
+      if (!obj.feasible)
+        for (int v = 0; v < n; ++v) obj.coverage += know.count(v);
+    }
+  } else {
+    if (opts.source < 0 || opts.source >= n)
+      throw std::invalid_argument(
+          "synth::evaluate: broadcast source out of range");
+    reach_.assign(static_cast<std::size_t>(n), 0);
+    reach_[static_cast<std::size_t>(opts.source)] = 1;
+    int reached = 1;
+    if (reached == n) {
+      obj.feasible = true;
+      obj.rounds = 0;
+      obj.coverage = reached;
+    } else {
+      int r = 0;
+      for (int i = 1; i <= opts.max_rounds; ++i) {
+        for (const graph::Arc& a : draft.links(r)) {
+          // Matching property: a vertex sits in at most one link per round,
+          // so an exchange's two directions only talk to each other —
+          // immediate marking equals the snapshot-semantics serial sweep.
+          if (reach_[static_cast<std::size_t>(a.tail)] &&
+              !reach_[static_cast<std::size_t>(a.head)]) {
+            reach_[static_cast<std::size_t>(a.head)] = 1;
+            ++reached;
+          } else if (full && reach_[static_cast<std::size_t>(a.head)] &&
+                     !reach_[static_cast<std::size_t>(a.tail)]) {
+            reach_[static_cast<std::size_t>(a.tail)] = 1;
+            ++reached;
+          }
+        }
+        if (reached == n) {
+          obj.feasible = true;
+          obj.rounds = i;
+          break;
+        }
+        if (++r == period) r = 0;
+      }
+      obj.coverage = reached;
+    }
+  }
+
   if (opts.audit_gap && opts.goal == Goal::kGossip && obj.feasible) {
+    // The auditor consumes the flat form; one compile per *accepted-move
+    // candidate* (the draft is structurally valid by construction, so no
+    // membership re-check is needed).
+    const auto cs = protocol::CompiledSchedule::compile(draft.to_schedule());
     const auto audit = core::audit_schedule(cs);
     obj.audit_gap = static_cast<double>(obj.rounds - audit.round_lower_bound);
-    if (obj.audit_gap < 0.0) obj.audit_gap = 0.0;  // audit is a lower bound
+    if (obj.audit_gap < 0.0) obj.audit_gap = 0.0;
   }
   return obj;
 }

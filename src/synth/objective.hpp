@@ -11,9 +11,28 @@
 // Infeasible candidates (incomplete within max_rounds) rank strictly below
 // every feasible one, ordered among themselves by knowledge coverage so
 // the annealer still has a gradient toward feasibility.
+//
+// Two evaluation paths produce identical objectives:
+//
+//   evaluate(cs, opts)       one-shot, from a compiled schedule
+//   DraftEvaluator           the annealer's hot path: evaluates a
+//                            ScheduleDraft directly — drafts maintain the
+//                            matching invariants by construction, so the
+//                            per-move CompiledSchedule build (validation,
+//                            canonicalization, partner tables, half a dozen
+//                            allocations) is skipped, and the scratch
+//                            knowledge matrix is reused across moves.
+//
+// evaluate_batch scores many compiled candidates through one shared
+// scratch arena (the restart winners' final full-budget re-scoring).
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "protocol/compiled.hpp"
+#include "simulator/batch.hpp"
+#include "synth/draft.hpp"
 
 namespace sysgo::synth {
 
@@ -57,5 +76,31 @@ struct Objective {
 /// a non-periodic compilation or a broadcast source out of range.
 [[nodiscard]] Objective evaluate(const protocol::CompiledSchedule& cs,
                                  const ObjectiveOptions& opts);
+
+/// Evaluate many compiled periodic candidates through one shared scratch
+/// arena (one knowledge-matrix allocation for the whole batch).  Entry i
+/// equals evaluate(*batch[i], opts).
+[[nodiscard]] std::vector<Objective> evaluate_batch(
+    std::span<const protocol::CompiledSchedule* const> batch,
+    const ObjectiveOptions& opts);
+
+/// Reusable draft evaluator: identical objectives to
+/// evaluate(CompiledSchedule::compile(d.to_schedule(), g), opts) with no
+/// per-call compile and no per-call allocation.  Drafts reject any move
+/// that would break the matching property and only activate pool links, so
+/// the compile-time validation is redundant on this path (property-tested
+/// in tests/simulator/test_kernels.cpp).  The audit-gap term, when
+/// requested and the candidate is feasible, still compiles once — the
+/// auditor consumes the flat form — which matches the old cost only where
+/// the old path paid it for every move.
+class DraftEvaluator {
+ public:
+  [[nodiscard]] Objective evaluate(const ScheduleDraft& draft,
+                                   const ObjectiveOptions& opts);
+
+ private:
+  simulator::GossipArena arena_;
+  std::vector<char> reach_;  // broadcast scratch
+};
 
 }  // namespace sysgo::synth

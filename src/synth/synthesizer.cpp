@@ -70,8 +70,7 @@ struct RestartOutcome {
 /// One annealing run from `initial`.  Self-contained: consumes only its own
 /// Rng stream, so outcomes are independent of restart scheduling.
 RestartOutcome anneal(const protocol::SystolicSchedule& initial,
-                      const std::vector<Arc>& pool,
-                      const graph::Digraph* membership, int max_period,
+                      const std::vector<Arc>& pool, int max_period,
                       const SynthOptions& opts, util::Rng rng) {
   const obs::WallTimer timer;
   ScheduleDraft draft = ScheduleDraft::from_schedule(initial);
@@ -82,12 +81,17 @@ RestartOutcome anneal(const protocol::SystolicSchedule& initial,
   // at the full budget by the caller.
   const int base_cap = std::min(
       opts.objective.max_rounds, std::max(256, 16 * initial.n));
+  // The hot path scores drafts directly: no per-move CompiledSchedule
+  // build and no per-move allocation (the evaluator's scratch matrix is
+  // reused across the whole restart).  Drafts keep the matching property
+  // and activate only pool links, so this yields the same objectives as
+  // compiling first — the per-restart winner is still compiled (with the
+  // membership check) by the caller before the final verdict.
+  DraftEvaluator evaluator;
   const auto eval = [&](const ScheduleDraft& d, int cap) {
     ObjectiveOptions capped = opts.objective;
     capped.max_rounds = cap;
-    return evaluate(protocol::CompiledSchedule::compile(d.to_schedule(),
-                                                        membership),
-                    capped);
+    return evaluator.evaluate(d, capped);
   };
 
   RestartOutcome out;
@@ -103,8 +107,8 @@ RestartOutcome anneal(const protocol::SystolicSchedule& initial,
       break;
     ++out.proposed;
     // Snapshot-undo: drafts are small (period × links), so a full copy is
-    // the same order of work as the compile+simulate evaluation below and
-    // makes every move trivially reversible.
+    // cheap next to the simulation below and makes every move trivially
+    // reversible.
     const ScheduleDraft backup = draft;
 
     bool changed = false;
@@ -272,8 +276,7 @@ SynthResult synthesize(const graph::Digraph& g, const SynthOptions& opts) {
     util::Rng rng(util::derive_seed(opts.seed, r));
     const auto initial =
         initial_schedule(g, static_cast<int>(r), coloring, opts, rng);
-    outcomes[r] = anneal(initial, pool, membership, max_period, opts,
-                         std::move(rng));
+    outcomes[r] = anneal(initial, pool, max_period, opts, std::move(rng));
     if (trace_span.armed()) {
       trace_span.arg(obs::trace::intern("restart"),
                      static_cast<std::int64_t>(r));
@@ -293,8 +296,22 @@ SynthResult synthesize(const graph::Digraph& g, const SynthOptions& opts) {
 
   // Best-of-K: strictly better objective wins; ties keep the lowest
   // restart index (the documented deterministic tie order).  Each restart's
-  // winner is re-scored at the user's full round budget first (the inner
-  // loop ran under the adaptive cap).
+  // winner is compiled here — the one membership/validation pass per
+  // restart, since the anneal scored drafts directly — and the K winners
+  // are re-scored at the user's full round budget in one batch through a
+  // shared scratch arena.
+  std::vector<protocol::CompiledSchedule> winners;
+  winners.reserve(outcomes.size());
+  for (const RestartOutcome& o : outcomes)
+    winners.push_back(
+        protocol::CompiledSchedule::compile(o.schedule, membership));
+  std::vector<const protocol::CompiledSchedule*> winner_ptrs;
+  winner_ptrs.reserve(winners.size());
+  for (const protocol::CompiledSchedule& cs : winners)
+    winner_ptrs.push_back(&cs);
+  const std::vector<Objective> fulls =
+      evaluate_batch(winner_ptrs, opts.objective);
+
   SynthResult result;
   result.restarts_run = opts.restarts;
   std::int64_t improved = 0;
@@ -302,12 +319,9 @@ SynthResult synthesize(const graph::Digraph& g, const SynthOptions& opts) {
     result.moves_proposed += outcomes[r].proposed;
     result.moves_accepted += outcomes[r].accepted;
     improved += outcomes[r].improved;
-    const Objective full = evaluate(
-        protocol::CompiledSchedule::compile(outcomes[r].schedule, membership),
-        opts.objective);
-    if (result.best_restart < 0 || better(full, result.objective)) {
+    if (result.best_restart < 0 || better(fulls[r], result.objective)) {
       result.best_restart = static_cast<int>(r);
-      result.objective = full;
+      result.objective = fulls[r];
       result.schedule = outcomes[r].schedule;
     }
   }

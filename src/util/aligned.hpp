@@ -1,0 +1,48 @@
+// Over-aligned storage for SIMD-consumed buffers.
+//
+// AlignedAlloc<T, A> is a minimal std::allocator drop-in whose allocations
+// are A-byte aligned (A a power of two >= alignof(T)).  The simulator's
+// knowledge rows use it so every row starts on a cache line and vector
+// loads never split one.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace sysgo::util {
+
+template <typename T, std::size_t Align>
+struct AlignedAlloc {
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+  static_assert(Align >= alignof(T), "alignment below the type's natural one");
+
+  using value_type = T;
+
+  AlignedAlloc() noexcept = default;
+  template <typename U>
+  AlignedAlloc(const AlignedAlloc<U, Align>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAlloc<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAlloc&, const AlignedAlloc&) {
+    return true;
+  }
+};
+
+/// Cache-line (64-byte) aligned vector.
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAlloc<T, 64>>;
+
+}  // namespace sysgo::util

@@ -10,6 +10,7 @@
 //   sysgo audit <schedule-file>           certify a lower bound
 //   sysgo simulate <schedule-file> [max]  measured gossip time
 //   sysgo topology <name> <d> <D>         emit a network as sysgo-digraph
+//   sysgo kernels [--have K]              SIMD row-kernel dispatch report
 //   sysgo metrics dump                    render the obs metric catalog
 //   sysgo trace report <PATH>             analyze a saved span trace
 //
@@ -53,6 +54,7 @@
 #include "obs/trace_report.hpp"
 #include "obs/wall_timer.hpp"
 #include "simulator/gossip_sim.hpp"
+#include "simulator/kernels.hpp"
 #include "store/result_store.hpp"
 #include "topology/topology.hpp"
 #include "util/fs.hpp"
@@ -131,6 +133,12 @@ int usage() {
                "  sysgo audit <schedule-file>\n"
                "  sysgo simulate <schedule-file> [max-rounds]\n"
                "  sysgo topology <family> <d> <D>\n"
+               "  sysgo kernels [--have scalar|avx2|avx512]\n"
+               "      report the SIMD row-kernel dispatch (compiled / "
+               "supported / active,\n"
+               "      honoring SYSGO_FORCE_KERNEL); --have K exits 0 iff "
+               "kernel K is\n"
+               "      runnable on this host (CI matrix gate)\n"
                "  sysgo metrics dump [--format json|csv]\n"
                "      render the metric catalog (zeros in a fresh process) — "
                "the --metrics schema\n"
@@ -874,6 +882,34 @@ int cmd_trace(int argc, char** argv) {
   return 0;
 }
 
+int cmd_kernels(int argc, char** argv) {
+  using sysgo::simulator::KernelKind;
+  const auto parse_kind = [](const std::string& name) {
+    for (int k = 0; k < sysgo::simulator::kKernelKindCount; ++k)
+      if (name == sysgo::simulator::kernel_name(static_cast<KernelKind>(k)))
+        return static_cast<KernelKind>(k);
+    throw std::invalid_argument("unknown kernel: " + name +
+                                " (expected scalar, avx2, or avx512)");
+  };
+  if (argc >= 1 && std::strcmp(argv[0], "--have") == 0) {
+    if (argc < 2) return usage();
+    // Quiet gate for scripting: exit 0 iff the kernel can actually run
+    // here (compiled in AND the CPU has the ISA).
+    return sysgo::simulator::kernel_supported(parse_kind(argv[1])) ? 0 : 1;
+  }
+  if (argc != 0) return usage();
+  const KernelKind active = sysgo::simulator::active_kernel();
+  std::printf("kernel,compiled,supported,active\n");
+  for (int k = 0; k < sysgo::simulator::kKernelKindCount; ++k) {
+    const auto kind = static_cast<KernelKind>(k);
+    std::printf("%s,%d,%d,%d\n", sysgo::simulator::kernel_name(kind),
+                sysgo::simulator::kernel_compiled(kind) ? 1 : 0,
+                sysgo::simulator::kernel_supported(kind) ? 1 : 0,
+                kind == active ? 1 : 0);
+  }
+  return 0;
+}
+
 int cmd_topology(int argc, char** argv) {
   if (argc < 3) return usage();
   const int d = sysgo::util::parse_int_in(argv[1], "<d>", {1, 1 << 20});
@@ -904,6 +940,7 @@ int main(int argc, char** argv) {
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "topology") return cmd_topology(argc - 2, argv + 2);
+    if (cmd == "kernels") return cmd_kernels(argc - 2, argv + 2);
     if (cmd == "metrics") return cmd_metrics(argc - 2, argv + 2);
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
   } catch (const std::exception& e) {
