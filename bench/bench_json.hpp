@@ -3,21 +3,42 @@
 // first) and, in addition to the usual console output, writes
 // BENCH_<name>.json into the working directory:
 //
-//   {"sysgo_bench": 1, "name": ..., "context": {num_cpus, cpu_ghz},
+//   {"sysgo_bench": 2, "name": ...,
+//    "context": {num_cpus, cpu_ghz, kernel, build_type, git_sha,
+//                perf_available},
 //    "benchmarks": {"<bench>": {"time_unit": "ms", "reps": k,
 //                               "median_real_time": x, "p90_real_time": y,
-//                               "counters": {"moves/s": m, ...}}}}
+//                               "counters": {"moves/s": m, ...},
+//                               "perf": {"ipc": i, ...}}}}
 //
-// Repetition samples come from the per-repetition (RT_Iteration) runs; with
-// the default single repetition, median == p90 == the one measurement.
-// Quantiles are nearest-rank, matching obs::Histogram's convention.
-// User counters (rates like rows/s, moves/s) arrive already finalized by
-// the benchmark library and are reported as per-counter medians; the
-// "counters" key is omitted for counter-less benchmarks.
+// `sysgo bench compare` consumes these snapshots (see
+// src/obs/bench_compare.hpp for the schema contract; v1 documents — no
+// kernel/build_type/git_sha context, no "perf" — still parse).
+//
+// Repetitions and warmup are harness-controlled via the environment so CI
+// can ask for statistical robustness without touching each binary:
+// SYSGO_BENCH_REPS=<n> injects --benchmark_repetitions=<n> and
+// SYSGO_BENCH_WARMUP_S=<secs> injects --benchmark_min_warmup_time=<secs>
+// (explicit command-line flags win over the environment).  Repetition
+// samples come from the per-repetition (RT_Iteration) runs; with a single
+// repetition, median == p90 == the one measurement.  Quantiles are
+// nearest-rank, matching obs::Histogram's convention.  User counters
+// (rates like rows/s, moves/s) arrive already finalized by the benchmark
+// library and are reported as per-counter medians; the "counters" key is
+// omitted for counter-less benchmarks.
+//
+// The "perf" block holds derived perf-counter ratios (ipc,
+// cache_miss_permille, branch_miss_permille, task_clock_ms) measured as
+// the main thread's counter delta across each benchmark's whole
+// repetition group — an approximation (worker threads of multi-threaded
+// benches are not counted) meant for explaining regressions, not gating
+// on its own.  Omitted entirely when no counter group opens (no PMU and
+// no software-counter access).
 #pragma once
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <string>
@@ -25,12 +46,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/bench_compare.hpp"
+#include "obs/perf.hpp"
 #include "util/fs.hpp"
 
 namespace sysgo::benchjson {
 
-/// Console reporter that additionally captures per-repetition real times,
-/// grouped by benchmark name, for the JSON sink.
+/// Console reporter that additionally captures per-repetition real times
+/// (grouped by benchmark name) and per-group perf-counter deltas for the
+/// JSON sink.
 class JsonCaptureReporter : public benchmark::ConsoleReporter {
  public:
   struct Series {
@@ -39,15 +63,24 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
     // Counter samples per name, one entry per repetition (already
     // rate-adjusted by the benchmark library).
     std::map<std::string, std::vector<double>> counters;
+    // Derived perf ratios for this benchmark's repetition group; empty
+    // when counters were unavailable.
+    std::map<std::string, double> perf;
   };
 
   bool ReportContext(const Context& context) override {
-    num_cpus_ = context.cpu_info.num_cpus;
     cpu_ghz_ = context.cpu_info.cycles_per_second / 1e9;
+    last_perf_ = obs::perf::read_sample();
     return ConsoleReporter::ReportContext(context);
   }
 
   void ReportRuns(const std::vector<Run>& reports) override {
+    // Benchmarks execute serially on this thread between consecutive
+    // ReportRuns calls, so the counter delta since the previous call
+    // belongs to this repetition group.
+    const obs::perf::Sample now = obs::perf::read_sample();
+    const std::map<std::string, double> perf = perf_delta(last_perf_, now);
+    last_perf_ = now;
     for (const Run& run : reports) {
       if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
       Series& s = series_[run.benchmark_name()];
@@ -55,6 +88,7 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       s.real_times.push_back(run.GetAdjustedRealTime());
       for (const auto& [cname, counter] : run.counters)
         s.counters[cname].push_back(counter.value);
+      if (s.perf.empty()) s.perf = perf;
     }
     ConsoleReporter::ReportRuns(reports);
   }
@@ -62,13 +96,38 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
   [[nodiscard]] const std::map<std::string, Series>& series() const {
     return series_;
   }
-  [[nodiscard]] int num_cpus() const { return num_cpus_; }
   [[nodiscard]] double cpu_ghz() const { return cpu_ghz_; }
 
  private:
+  static std::map<std::string, double> perf_delta(
+      const obs::perf::Sample& a, const obs::perf::Sample& b) {
+    const auto d = [](std::uint64_t from, std::uint64_t to) {
+      return to > from ? to - from : 0;
+    };
+    std::map<std::string, double> out;
+    const std::uint64_t cycles = d(a.cycles, b.cycles);
+    const std::uint64_t instructions = d(a.instructions, b.instructions);
+    if (cycles > 0) {
+      out["ipc"] = static_cast<double>(instructions) /
+                   static_cast<double>(cycles);
+      out["branch_miss_permille"] =
+          static_cast<double>(d(a.branch_misses, b.branch_misses)) * 1000.0 /
+          static_cast<double>(cycles);
+    }
+    const std::uint64_t refs = d(a.cache_refs, b.cache_refs);
+    if (refs > 0)
+      out["cache_miss_permille"] =
+          static_cast<double>(d(a.cache_misses, b.cache_misses)) * 1000.0 /
+          static_cast<double>(refs);
+    const std::uint64_t clock_ns = d(a.task_clock_ns, b.task_clock_ns);
+    if (clock_ns > 0)
+      out["task_clock_ms"] = static_cast<double>(clock_ns) / 1e6;
+    return out;
+  }
+
   std::map<std::string, Series> series_;  // name-sorted, like obs snapshots
-  int num_cpus_ = 0;
   double cpu_ghz_ = 0.0;
+  obs::perf::Sample last_perf_{};
 };
 
 /// Nearest-rank quantile of a sample vector (sorted copy; q in (0, 1]).
@@ -83,6 +142,7 @@ inline double sample_quantile(std::vector<double> v, double q) {
 
 inline std::string render_json(const std::string& name,
                                const JsonCaptureReporter& rep) {
+  const obs::bench::Context ctx = obs::bench::local_context();
   std::ostringstream out;
   char buf[64];
   const auto num = [&](double v) -> std::ostringstream& {
@@ -90,10 +150,14 @@ inline std::string render_json(const std::string& name,
     out << buf;
     return out;
   };
-  out << "{\n  \"sysgo_bench\": 1,\n  \"name\": \"" << name
-      << "\",\n  \"context\": {\"num_cpus\": " << rep.num_cpus()
+  out << "{\n  \"sysgo_bench\": 2,\n  \"name\": \"" << name
+      << "\",\n  \"context\": {\"num_cpus\": " << ctx.num_cpus
       << ", \"cpu_ghz\": ";
-  num(rep.cpu_ghz()) << "},\n  \"benchmarks\": {";
+  num(rep.cpu_ghz()) << ", \"kernel\": \"" << ctx.kernel
+      << "\", \"build_type\": \"" << ctx.build_type << "\", \"git_sha\": \""
+      << ctx.git_sha << "\", \"perf_available\": "
+      << (ctx.perf_available ? "true" : "false") << "},\n"
+      << "  \"benchmarks\": {";
   bool first = true;
   for (const auto& [bench, s] : rep.series()) {
     out << (first ? "" : ",") << "\n    \"" << bench
@@ -112,6 +176,16 @@ inline std::string render_json(const std::string& name,
       }
       out << "}";
     }
+    if (!s.perf.empty()) {
+      out << ", \"perf\": {";
+      bool pfirst = true;
+      for (const auto& [pname, value] : s.perf) {
+        out << (pfirst ? "" : ", ") << "\"" << pname << "\": ";
+        num(value);
+        pfirst = false;
+      }
+      out << "}";
+    }
     out << "}";
     first = false;
   }
@@ -124,21 +198,55 @@ inline void write_json(const std::string& name,
   util::write_file_atomic("BENCH_" + name + ".json", render_json(name, rep));
 }
 
+/// Append --benchmark_repetitions / --benchmark_min_warmup_time from the
+/// SYSGO_BENCH_REPS / SYSGO_BENCH_WARMUP_S environment variables, unless
+/// the user already passed the flag explicitly (explicit flags win —
+/// benchmark::Initialize takes the last occurrence, so ours go first).
+inline std::vector<char*> harness_args(int argc, char** argv,
+                                       std::vector<std::string>& storage) {
+  storage.assign(argv, argv + argc);
+  const auto inject = [&](const char* env, const char* flag) {
+    const char* value = std::getenv(env);
+    if (value == nullptr || *value == '\0') return;
+    storage.insert(storage.begin() + 1,
+                   std::string(flag) + "=" + value);
+  };
+  inject("SYSGO_BENCH_WARMUP_S", "--benchmark_min_warmup_time");
+  inject("SYSGO_BENCH_REPS", "--benchmark_repetitions");
+  std::vector<char*> out;
+  out.reserve(storage.size());
+  for (std::string& s : storage) out.push_back(s.data());
+  return out;
+}
+
+/// The shared main body: env-controlled reps/warmup, perf capture, JSON
+/// sink.  Returns the process exit code.
+inline int run_bench_main(const std::string& name, int argc, char** argv) {
+  std::vector<std::string> storage;
+  std::vector<char*> args = harness_args(argc, argv, storage);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  // Benchmarks measure, they do not produce records, so perf collection
+  // is always on here; it degrades to a no-op where counters are closed.
+  obs::perf::set_enabled(true);
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_json(name, reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace sysgo::benchjson
 
 /// Drop-in replacement for BENCHMARK_MAIN() that also writes
 /// BENCH_<name>.json.  `pre` (the _PRE variant) runs before benchmark
 /// initialization — the slot for the table-printing half of the fig benches.
-#define SYSGO_BENCH_MAIN_PRE(bench_name, pre)                         \
-  int main(int argc, char** argv) {                                   \
-    pre;                                                              \
-    benchmark::Initialize(&argc, argv);                               \
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    sysgo::benchjson::JsonCaptureReporter reporter;                   \
-    benchmark::RunSpecifiedBenchmarks(&reporter);                     \
-    sysgo::benchjson::write_json(bench_name, reporter);               \
-    benchmark::Shutdown();                                            \
-    return 0;                                                         \
+#define SYSGO_BENCH_MAIN_PRE(bench_name, pre)                       \
+  int main(int argc, char** argv) {                                 \
+    pre;                                                            \
+    return sysgo::benchjson::run_bench_main(bench_name, argc, argv); \
   }
 
 #define SYSGO_BENCH_MAIN(bench_name) SYSGO_BENCH_MAIN_PRE(bench_name, (void)0)

@@ -4,8 +4,10 @@
 // printed table reports median wall-clock per arm and the on-vs-off delta —
 // the src/obs/ contract pins it under 2% (sharded relaxed atomics on paths
 // that are instrumented per task / per chunk, never per inner-loop step).
-// The same workloads are also registered as google benchmarks, so
-// BENCH_obs_overhead.json carries machine-readable on/off medians.
+// A third table section pins --perf the same way: PerfScope (two
+// perf_event group reads per job) must stay under 3% on the sweep
+// workload.  The same workloads are also registered as google benchmarks,
+// so BENCH_obs_overhead.json carries machine-readable on/off medians.
 #include <benchmark/benchmark.h>
 
 #include "bench_json.hpp"
@@ -16,6 +18,7 @@
 #include "engine/scenario.hpp"
 #include "engine/sweep.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/wall_timer.hpp"
 #include "synth/synthesizer.hpp"
 #include "topology/topology.hpp"
@@ -33,6 +36,22 @@ std::vector<engine::SweepRecord> simulate_sweep() {
   spec.tasks = {engine::Task::kSimulate, engine::Task::kAudit};
   engine::SweepOptions opts;
   opts.threads = 1;  // serial: the purest view of per-event overhead
+  engine::SweepRunner runner(opts);
+  return runner.run_jobs(spec.expand(), spec.limits);
+}
+
+/// Larger graphs than simulate_sweep: PerfScope's cost is a fixed number
+/// of perf_event reads per job, so the honest overhead denominator is a
+/// realistically-sized job (~0.1 ms+), not a handful of 8-node toys.
+std::vector<engine::SweepRecord> simulate_sweep_large() {
+  engine::ScenarioSpec spec;
+  spec.families = {sysgo::topology::Family::kDeBruijn,
+                   sysgo::topology::Family::kKautz};
+  spec.degrees = {2};
+  spec.dimensions = {5, 6, 7};
+  spec.tasks = {engine::Task::kSimulate, engine::Task::kAudit};
+  engine::SweepOptions opts;
+  opts.threads = 1;
   engine::SweepRunner runner(opts);
   return runner.run_jobs(spec.expand(), spec.limits);
 }
@@ -76,10 +95,42 @@ void print_row(const char* name, const Fn& fn) {
   std::printf("%s,%.3f,%.3f,%.2f\n", name, on_ms, off_ms, delta_pct);
 }
 
+/// The --perf arm: metrics stay on in both arms; only PerfScope's counter
+/// group reads toggle.  Same interleaving discipline as timed_millis.
+template <class Fn>
+double timed_millis_perf(bool perf_on, const Fn& fn) {
+  sysgo::obs::perf::set_enabled(perf_on);
+  const sysgo::obs::WallTimer timer;
+  benchmark::DoNotOptimize(fn());
+  const double ms = timer.millis();
+  sysgo::obs::perf::set_enabled(false);
+  return ms;
+}
+
+template <class Fn>
+void print_perf_row(const char* name, const Fn& fn) {
+  constexpr int kReps = 9;
+  (void)timed_millis_perf(false, fn);
+  (void)timed_millis_perf(true, fn);
+  std::vector<double> on, off;
+  for (int r = 0; r < kReps; ++r) {
+    on.push_back(timed_millis_perf(true, fn));
+    off.push_back(timed_millis_perf(false, fn));
+  }
+  const double on_ms = sysgo::benchjson::sample_quantile(on, 0.50);
+  const double off_ms = sysgo::benchjson::sample_quantile(off, 0.50);
+  const double delta_pct =
+      off_ms > 0.0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0;
+  std::printf("%s,%.3f,%.3f,%.2f\n", name, on_ms, off_ms, delta_pct);
+}
+
 void print_overhead_table() {
   std::printf("workload,obs_on_ms,obs_off_ms,delta_pct\n");
   print_row("engine_simulate_sweep", simulate_sweep);
   print_row("synthesize_db_2_3", synthesize_small);
+  std::printf("workload,perf_on_ms,perf_off_ms,delta_pct\n");
+  print_perf_row("engine_simulate_sweep_perf", simulate_sweep_large);
+  print_perf_row("synthesize_db_2_3_perf", synthesize_small);
   sysgo::obs::reset_all();  // the table's metrics are not the benchmarks'
 }
 
@@ -90,6 +141,17 @@ void BM_SimulateSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateSweep)
     ->Name("obs/simulate_sweep")
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateSweepPerf(benchmark::State& state) {
+  sysgo::obs::perf::set_enabled(state.range(0) != 0);
+  for (auto _ : state) benchmark::DoNotOptimize(simulate_sweep_large());
+  sysgo::obs::perf::set_enabled(true);
+}
+BENCHMARK(BM_SimulateSweepPerf)
+    ->Name("obs/simulate_sweep_perf")
     ->Arg(1)
     ->Arg(0)
     ->Unit(benchmark::kMillisecond);

@@ -7,6 +7,7 @@
 #include "core/separator_bound.hpp"
 #include "graph/search.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/trace.hpp"
 #include "obs/wall_timer.hpp"
 #include "protocol/builders.hpp"
@@ -34,14 +35,21 @@ struct EngineMetrics {
   obs::Counter& cache_hits = obs::counter("engine.cache.hits");
   obs::Counter& cache_misses = obs::counter("engine.cache.misses");
   std::array<obs::Histogram*, 8> task_micros{};
+  // Per-task perf rollups (--perf): cycles/IPC/cache behavior next to the
+  // latency histograms, under the same engine.task.<name> prefix.
+  std::array<obs::perf::PerfRollup*, 8> task_perf{};
 
   EngineMetrics() {
     for (const Task t :
          {Task::kBound, Task::kDiameterBound, Task::kSimulate, Task::kAudit,
           Task::kSeparatorCheck, Task::kSolveGossip, Task::kSolveBroadcast,
-          Task::kSynthesize})
+          Task::kSynthesize}) {
       task_micros[static_cast<std::size_t>(t)] =
           &obs::histogram("engine.task." + task_name(t) + ".micros");
+      // Leaked like every registry handle: rollups live for the process.
+      task_perf[static_cast<std::size_t>(t)] =
+          new obs::perf::PerfRollup("engine.task." + task_name(t));
+    }
   }
 };
 
@@ -168,6 +176,11 @@ SweepRecord SweepRunner::run_job(const SweepJob& job,
     span.arg(obs::trace::intern("D"), job.key.D);
     span.arg(obs::trace::intern("s"), job.s);
   }
+  // After the span so the perf delta lands in the span's args before the
+  // span closes (destruction runs in reverse order).
+  obs::perf::PerfScope perf_scope(
+      *engine_metrics().task_perf[static_cast<std::size_t>(job.task)]);
+  if (perf_scope.armed()) perf_scope.attach(&span);
   const obs::WallTimer timer;
   SweepRecord r = run_job_impl(job, limits);
   r.millis = timer.millis();

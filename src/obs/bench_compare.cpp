@@ -1,0 +1,308 @@
+#include "obs/bench_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/perf.hpp"
+#include "simulator/kernels.hpp"
+
+namespace sysgo::obs::bench {
+
+namespace {
+
+const json::Value& require(const json::Value& obj, const char* key,
+                           json::Value::Kind kind, const char* what) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || v->kind != kind)
+    throw std::runtime_error(std::string("bench snapshot: missing or "
+                                         "malformed \"") +
+                             key + "\" in " + what);
+  return *v;
+}
+
+std::map<std::string, double> number_map(const json::Value& obj) {
+  std::map<std::string, double> out;
+  for (const auto& [k, v] : obj.members)
+    if (v.kind == json::Value::Kind::kNumber) out[k] = v.number;
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+std::string fmt_pct(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", v);
+  return buf;
+}
+
+const char* status_label(RowStatus s) {
+  switch (s) {
+    case RowStatus::kOk: return "ok";
+    case RowStatus::kRegression: return "REGRESSION";
+    case RowStatus::kImproved: return "improved";
+    case RowStatus::kNew: return "new";
+    case RowStatus::kMissing: return "missing";
+    case RowStatus::kIncomparable: return "incomparable";
+  }
+  return "?";
+}
+
+/// Percent change where positive means "worse": times grow, rates shrink.
+double worse_pct(double baseline, double current, bool higher_is_better) {
+  if (baseline <= 0.0) return 0.0;
+  const double pct = (current - baseline) / baseline * 100.0;
+  return higher_is_better ? -pct : pct;
+}
+
+void classify(CompareReport& report, CompareRow row, double threshold_pct) {
+  if (row.delta_pct > threshold_pct) {
+    row.status = RowStatus::kRegression;
+    ++report.regressions;
+  } else if (row.delta_pct < -threshold_pct) {
+    row.status = RowStatus::kImproved;
+    ++report.improvements;
+  } else {
+    row.status = RowStatus::kOk;
+  }
+  report.rows.push_back(std::move(row));
+}
+
+/// Compare one optional context field; absent-on-either-side is recorded
+/// as a skip note, a real difference as a mismatch.
+template <typename T>
+void check_field(std::vector<std::string>& mismatches,
+                 std::vector<std::string>& notes, const char* name,
+                 const T& base, const T& cur, const T& absent) {
+  if (base == absent || cur == absent) {
+    if (base != cur || base == absent)
+      notes.push_back(std::string("context: ") + name +
+                      " unknown on one side, not compared");
+    return;
+  }
+  if (base != cur) {
+    std::ostringstream os;
+    os << "context: " << name << " differs (baseline " << base
+       << " vs current " << cur << ")";
+    mismatches.push_back(os.str());
+  }
+}
+
+}  // namespace
+
+BenchSnapshot parse_snapshot(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  if (doc.kind != json::Value::Kind::kObject)
+    throw std::runtime_error("bench snapshot: document is not an object");
+
+  BenchSnapshot snap;
+  snap.schema = static_cast<int>(json::as_i64(require(
+      doc, "sysgo_bench", json::Value::Kind::kNumber, "document")));
+  if (snap.schema < 1 || snap.schema > 2)
+    throw std::runtime_error("bench snapshot: unsupported sysgo_bench "
+                             "schema " +
+                             std::to_string(snap.schema));
+  snap.name =
+      require(doc, "name", json::Value::Kind::kString, "document").str;
+
+  const json::Value& ctx =
+      require(doc, "context", json::Value::Kind::kObject, "document");
+  if (const json::Value* v = ctx.find("num_cpus"))
+    snap.context.num_cpus = static_cast<int>(json::as_i64(*v));
+  if (const json::Value* v = ctx.find("cpu_ghz"))
+    snap.context.cpu_ghz = v->number;
+  if (const json::Value* v = ctx.find("kernel")) snap.context.kernel = v->str;
+  if (const json::Value* v = ctx.find("build_type"))
+    snap.context.build_type = v->str;
+  if (const json::Value* v = ctx.find("git_sha"))
+    snap.context.git_sha = v->str;
+  if (const json::Value* v = ctx.find("perf_available"))
+    snap.context.perf_available = v->boolean;
+
+  const json::Value& benches =
+      require(doc, "benchmarks", json::Value::Kind::kObject, "document");
+  for (const auto& [name, b] : benches.members) {
+    if (b.kind != json::Value::Kind::kObject)
+      throw std::runtime_error("bench snapshot: benchmark \"" + name +
+                               "\" is not an object");
+    BenchEntry e;
+    e.time_unit =
+        require(b, "time_unit", json::Value::Kind::kString, name.c_str()).str;
+    e.reps = static_cast<int>(json::as_i64(
+        require(b, "reps", json::Value::Kind::kNumber, name.c_str())));
+    e.median_real_time =
+        require(b, "median_real_time", json::Value::Kind::kNumber,
+                name.c_str())
+            .number;
+    e.p90_real_time =
+        require(b, "p90_real_time", json::Value::Kind::kNumber, name.c_str())
+            .number;
+    if (const json::Value* c = b.find("counters");
+        c != nullptr && c->kind == json::Value::Kind::kObject)
+      e.counters = number_map(*c);
+    if (const json::Value* p = b.find("perf");
+        p != nullptr && p->kind == json::Value::Kind::kObject)
+      e.perf = number_map(*p);
+    snap.benchmarks.emplace(name, std::move(e));
+  }
+  return snap;
+}
+
+CompareReport compare(const BenchSnapshot& baseline,
+                      const BenchSnapshot& current,
+                      const CompareOptions& opts) {
+  CompareReport report;
+
+  std::vector<std::string> mismatches;
+  check_field(mismatches, report.context_notes, "num_cpus",
+              baseline.context.num_cpus, current.context.num_cpus, 0);
+  check_field(mismatches, report.context_notes, "kernel",
+              baseline.context.kernel, current.context.kernel,
+              std::string());
+  check_field(mismatches, report.context_notes, "build_type",
+              baseline.context.build_type, current.context.build_type,
+              std::string());
+  if (!mismatches.empty() && !opts.allow_context_mismatch) {
+    std::string what = "bench compare: refusing to compare across "
+                       "incomparable contexts (pass "
+                       "--allow-context-mismatch to override):";
+    for (const std::string& m : mismatches) what += "\n  " + m;
+    throw std::invalid_argument(what);
+  }
+  for (std::string& m : mismatches)
+    report.context_notes.push_back(std::move(m));
+
+  for (const auto& [name, base] : baseline.benchmarks) {
+    const auto it = current.benchmarks.find(name);
+    if (it == current.benchmarks.end()) {
+      report.rows.push_back({name, RowStatus::kMissing,
+                             base.median_real_time, 0.0, 0.0,
+                             base.time_unit});
+      continue;
+    }
+    const BenchEntry& cur = it->second;
+    if (base.time_unit != cur.time_unit) {
+      report.rows.push_back({name, RowStatus::kIncomparable,
+                             base.median_real_time, cur.median_real_time,
+                             0.0, base.time_unit + "/" + cur.time_unit});
+      continue;
+    }
+    CompareRow row;
+    row.name = name;
+    row.baseline = base.median_real_time;
+    row.current = cur.median_real_time;
+    row.unit = base.time_unit;
+    row.delta_pct =
+        worse_pct(base.median_real_time, cur.median_real_time, false);
+    classify(report, std::move(row), opts.threshold_pct);
+
+    if (!opts.counters) continue;
+    for (const auto& [cname, cbase] : base.counters) {
+      const auto cit = cur.counters.find(cname);
+      if (cit == cur.counters.end()) continue;
+      CompareRow crow;
+      crow.name = name + " [" + cname + "]";
+      crow.baseline = cbase;
+      crow.current = cit->second;
+      crow.unit = cname;
+      crow.delta_pct = worse_pct(cbase, cit->second, true);
+      classify(report, std::move(crow), opts.threshold_pct);
+    }
+  }
+  for (const auto& [name, cur] : current.benchmarks)
+    if (baseline.benchmarks.find(name) == baseline.benchmarks.end())
+      report.rows.push_back({name, RowStatus::kNew, 0.0,
+                             cur.median_real_time, 0.0, cur.time_unit});
+  return report;
+}
+
+std::string render_report(const CompareReport& report,
+                          const CompareOptions& opts) {
+  std::ostringstream os;
+  for (const std::string& note : report.context_notes)
+    os << "note: " << note << "\n";
+  std::size_t width = 4;
+  for (const CompareRow& row : report.rows)
+    width = std::max(width, row.name.size());
+  for (const CompareRow& row : report.rows) {
+    os << "  " << row.name << std::string(width - row.name.size() + 2, ' ');
+    switch (row.status) {
+      case RowStatus::kNew:
+        os << "new: " << fmt(row.current) << " " << row.unit;
+        break;
+      case RowStatus::kMissing:
+        os << "missing from current (baseline " << fmt(row.baseline) << " "
+           << row.unit << ")";
+        break;
+      case RowStatus::kIncomparable:
+        os << "incomparable time units (" << row.unit << ")";
+        break;
+      default:
+        os << fmt(row.baseline) << " -> " << fmt(row.current) << " "
+           << row.unit << "  " << fmt_pct(row.delta_pct) << "  "
+           << status_label(row.status);
+        break;
+    }
+    os << "\n";
+  }
+  os << (report.ok() ? "PASS" : "FAIL") << ": " << report.regressions
+     << " regression(s), " << report.improvements << " improvement(s), "
+     << report.rows.size() << " row(s) at threshold "
+     << fmt(opts.threshold_pct) << "%\n";
+  return os.str();
+}
+
+std::string render_list(const BenchSnapshot& snap) {
+  std::ostringstream os;
+  os << snap.name << " (schema " << snap.schema << ", "
+     << snap.benchmarks.size() << " benchmark(s))\n";
+  std::size_t width = 4;
+  for (const auto& [name, e] : snap.benchmarks)
+    width = std::max(width, name.size());
+  for (const auto& [name, e] : snap.benchmarks)
+    os << "  " << name << std::string(width - name.size() + 2, ' ')
+       << fmt(e.median_real_time) << " " << e.time_unit << " (p90 "
+       << fmt(e.p90_real_time) << ", reps " << e.reps << ")\n";
+  return os.str();
+}
+
+std::string render_context(const Context& ctx) {
+  std::ostringstream os;
+  os << "num_cpus: " << ctx.num_cpus << "\n";
+  os << "cpu_ghz: " << fmt(ctx.cpu_ghz) << "\n";
+  os << "kernel: " << (ctx.kernel.empty() ? "unknown" : ctx.kernel) << "\n";
+  os << "build_type: "
+     << (ctx.build_type.empty() ? "unknown" : ctx.build_type) << "\n";
+  os << "git_sha: " << (ctx.git_sha.empty() ? "unknown" : ctx.git_sha)
+     << "\n";
+  os << "perf_available: " << (ctx.perf_available ? "true" : "false")
+     << "\n";
+  return os.str();
+}
+
+Context local_context() {
+  Context ctx;
+  ctx.num_cpus = static_cast<int>(std::thread::hardware_concurrency());
+  ctx.kernel = simulator::kernel_name(simulator::active_kernel());
+#if defined(NDEBUG)
+  ctx.build_type = "release";
+#else
+  ctx.build_type = "debug";
+#endif
+#if defined(SYSGO_GIT_SHA)
+  ctx.git_sha = SYSGO_GIT_SHA;
+#endif
+  const perf::Availability avail = perf::available();
+  ctx.perf_available = avail.hardware || avail.software;
+  return ctx;
+}
+
+}  // namespace sysgo::obs::bench

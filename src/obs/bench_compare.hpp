@@ -1,0 +1,123 @@
+// Benchmark snapshot model, comparison, and regression gating — the
+// library half of `sysgo bench compare|list|context`.
+//
+// bench/bench_json.hpp writes one BENCH_<name>.json per bench binary
+// (schema v2: context with num_cpus / cpu_ghz / kernel / build_type /
+// git_sha, per-benchmark multi-rep median + p90 real times, counter
+// medians, and optional perf-counter aggregates).  This module parses
+// those snapshots back (v1 documents — no schema-2 context fields, no
+// perf blocks — still load), diffs two of them, and decides pass/fail
+// for CI:
+//
+//  * a benchmark REGRESSES when its current median real time exceeds the
+//    baseline median by more than the threshold;
+//  * with counters enabled, a counter (rates: higher is better) regresses
+//    when its current median falls below the baseline by more than the
+//    threshold;
+//  * contexts are compared first: a kernel / build-type / num_cpus
+//    mismatch makes wall-clock diffs meaningless, so compare() refuses
+//    (throws) unless allow_context_mismatch is set.  Fields absent on
+//    either side (e.g. a v1 baseline) are skipped, never treated as a
+//    mismatch.
+//
+// Benchmarks present on only one side are reported (kNew / kMissing) but
+// do not fail the compare — regressions must be measured, not inferred.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sysgo::obs::bench {
+
+/// Host/build context captured with a snapshot.  Optional fields are
+/// absent in schema-v1 documents.
+struct Context {
+  int num_cpus = 0;
+  double cpu_ghz = 0.0;
+  std::string kernel;      // active SIMD row kernel ("" = unknown / v1)
+  std::string build_type;  // "release" / "debug" ("" = unknown / v1)
+  std::string git_sha;     // "" = unknown
+  bool perf_available = false;
+};
+
+/// One benchmark's aggregates: medians over the repetition samples.
+struct BenchEntry {
+  std::string time_unit;  // "ns"/"us"/"ms" as written by the bench library
+  int reps = 0;
+  double median_real_time = 0.0;
+  double p90_real_time = 0.0;
+  std::map<std::string, double> counters;  // rate counters (higher = better)
+  std::map<std::string, double> perf;      // perf aggregates (informational)
+};
+
+struct BenchSnapshot {
+  int schema = 0;  // the "sysgo_bench" version field (1 or 2)
+  std::string name;
+  Context context;
+  std::map<std::string, BenchEntry> benchmarks;  // name-sorted
+};
+
+/// Parse a BENCH_<name>.json document (schema 1 or 2).  Throws
+/// std::runtime_error on malformed documents or unsupported schemas.
+[[nodiscard]] BenchSnapshot parse_snapshot(const std::string& text);
+
+struct CompareOptions {
+  double threshold_pct = 10.0;        // regression gate, percent
+  bool counters = false;              // also gate on counter medians
+  bool allow_context_mismatch = false;
+};
+
+enum class RowStatus {
+  kOk,          // within threshold
+  kRegression,  // slower / lower-rate than baseline beyond threshold
+  kImproved,    // faster / higher-rate beyond threshold (informational)
+  kNew,         // only in current
+  kMissing,     // only in baseline
+  kIncomparable,  // time units differ
+};
+
+struct CompareRow {
+  std::string name;       // benchmark, or "benchmark [counter]" for rates
+  RowStatus status = RowStatus::kOk;
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta_pct = 0.0;  // positive = slower (times) / lower (counters)
+  std::string unit;
+};
+
+struct CompareReport {
+  std::vector<CompareRow> rows;      // baseline order, counters inline
+  std::vector<std::string> context_notes;  // skipped/mismatched context
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+/// Diff two snapshots.  Throws std::invalid_argument on a context
+/// mismatch unless opts.allow_context_mismatch (the mismatch is then
+/// recorded in context_notes instead).
+[[nodiscard]] CompareReport compare(const BenchSnapshot& baseline,
+                                    const BenchSnapshot& current,
+                                    const CompareOptions& opts);
+
+/// Human-readable report table ending in a PASS/FAIL summary line.
+[[nodiscard]] std::string render_report(const CompareReport& report,
+                                        const CompareOptions& opts);
+
+/// One line per benchmark: name, median, unit, reps (`sysgo bench list`).
+[[nodiscard]] std::string render_list(const BenchSnapshot& snap);
+
+/// Render a context as "key: value" lines (`sysgo bench context`).
+[[nodiscard]] std::string render_context(const Context& ctx);
+
+/// The context this process would stamp into a snapshot right now:
+/// hardware_concurrency, active SIMD kernel, build type, compiled-in git
+/// sha, and perf-counter availability.  bench/bench_json.hpp uses this
+/// same function, so `sysgo bench context` prints exactly what a bench
+/// run on this host would record.
+[[nodiscard]] Context local_context();
+
+}  // namespace sysgo::obs::bench

@@ -1,0 +1,123 @@
+// Hardware/software performance-counter profiling: the *why fast / why
+// slow* companion to the metrics registry's *how much* and the trace
+// recorder's *when*.
+//
+// On Linux each recording thread lazily opens two `perf_event_open`
+// counter groups:
+//
+//  * hardware — cycles (leader), instructions, branch-misses,
+//    cache-references, cache-misses; read in one syscall with
+//    PERF_FORMAT_GROUP and scaled by time_enabled/time_running so PMU
+//    multiplexing cannot silently shrink the numbers.
+//  * software — task-clock (leader), minor/major page faults; available
+//    even where the hardware PMU is not (most containers and CI runners
+//    expose no PMU: the hardware open fails with ENOENT/EACCES/EPERM).
+//
+// Degradation is graceful and per group: whatever fails to open is simply
+// absent from every sample (its fields read 0 and the matching
+// `available()` flag is false) — nothing throws, nothing logs per event,
+// and on non-Linux builds the whole backend compiles to the no-op path.
+//
+// Collection is OFF by default (`--perf` turns it on).  The RAII
+// `PerfScope` snapshots this thread's groups at construction and charges
+// the delta at destruction into a `PerfRollup` — raw totals into counters
+// (`<prefix>.perf.cycles`, `.instructions`, `.branch_misses`,
+// `.cache_refs`, `.cache_misses`, `.task_clock_us`) and derived ratios
+// into histograms (`<prefix>.perf.ipc_milli`: instructions-per-cycle
+// x1000; `.cache_miss_permille` and `.branch_miss_permille`: misses per
+// 1000 references/cycles) — and can attach the derived values as args to
+// a live TraceSpan.  Profiling must never perturb results: tests/obs/
+// asserts records are byte-identical with profiling on and off, and
+// bench/obs_overhead pins the instrumented-path delta under 3%.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace sysgo::obs::trace {
+class TraceSpan;  // perf.hpp must stay includable without trace.hpp
+}
+
+namespace sysgo::obs::perf {
+
+/// Global collection switch, default OFF (the `--perf` flag).  Disabled
+/// profiling costs one relaxed load per PerfScope.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Which counter groups this thread can actually open.  Probed once per
+/// thread on first use (opening is lazy); stable for the thread lifetime.
+struct Availability {
+  bool hardware = false;  // cycles/instructions/branches/cache group
+  bool software = false;  // task-clock/page-faults group
+};
+[[nodiscard]] Availability available();
+
+/// One reading of this thread's counter groups (cumulative since the
+/// groups were opened).  Fields from an unavailable group are zero.
+struct Sample {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t cache_refs = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t task_clock_ns = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+};
+
+/// Read this thread's groups now (opening them on first call).  Returns a
+/// zero sample when profiling is disabled or nothing opened.
+[[nodiscard]] Sample read_sample();
+
+/// Multiplexing correction: a counter scheduled on the PMU for
+/// `running` of `enabled` nanoseconds extrapolates linearly.  Exposed for
+/// the unit tests; running == 0 yields 0 (never a division by zero).
+[[nodiscard]] std::uint64_t scale_value(std::uint64_t raw,
+                                        std::uint64_t time_enabled,
+                                        std::uint64_t time_running) noexcept;
+
+/// The metric bundle a PerfScope charges into.  Construct once per call
+/// site (function-local static) with the owning subsystem's prefix; the
+/// names land in the --metrics snapshot next to the latency histograms.
+struct PerfRollup {
+  explicit PerfRollup(const std::string& prefix);
+
+  Counter& cycles;
+  Counter& instructions;
+  Counter& branch_misses;
+  Counter& cache_refs;
+  Counter& cache_misses;
+  Counter& task_clock_us;
+  Histogram& ipc_milli;             // instructions / cycles x 1000
+  Histogram& cache_miss_permille;   // cache_misses / cache_refs x 1000
+  Histogram& branch_miss_permille;  // branch_misses / instructions x 1000
+};
+
+/// RAII profiling span: snapshots this thread's counters at construction,
+/// charges the delta into `rollup` at destruction, and (when attached)
+/// adds `ipc_milli` / `cache_miss_permille` args to a trace span.  Declare
+/// AFTER the TraceSpan it attaches to, so its destructor runs first.
+class PerfScope {
+ public:
+  explicit PerfScope(PerfRollup& rollup) noexcept;
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+  ~PerfScope();
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+  /// Attach derived-counter args to `span` when this scope closes.  The
+  /// span must outlive the scope (declare the span first).
+  void attach(trace::TraceSpan* span) noexcept { span_ = span; }
+
+ private:
+  PerfRollup& rollup_;
+  trace::TraceSpan* span_ = nullptr;
+  const bool armed_;
+  Sample start_{};
+};
+
+}  // namespace sysgo::obs::perf

@@ -1,0 +1,93 @@
+#include "obs/resource.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#endif
+
+namespace sysgo::obs::resource {
+
+namespace {
+
+#if defined(__linux__)
+
+/// Parse "<key>:   <value> kB" lines out of /proc/self/status.  Returns
+/// -1 when the key is missing (kernel too old / field renamed) so callers
+/// can distinguish absent from zero.
+std::int64_t status_kb(const char* text, const char* key) {
+  const char* line = std::strstr(text, key);
+  if (line == nullptr) return -1;
+  line += std::strlen(key);
+  long long value = 0;
+  if (std::sscanf(line, ": %lld", &value) != 1) return -1;
+  return value;
+}
+
+#endif
+
+struct ResourceGauges {
+  Gauge& rss_kb = gauge("proc.rss_kb");
+  Gauge& rss_peak_kb = gauge("proc.rss_peak_kb");
+  Gauge& minor_faults = gauge("proc.minor_faults");
+  Gauge& major_faults = gauge("proc.major_faults");
+  Gauge& voluntary = gauge("proc.ctx_switches.voluntary");
+  Gauge& involuntary = gauge("proc.ctx_switches.involuntary");
+};
+
+ResourceGauges& resource_gauges() {
+  static ResourceGauges g;
+  return g;
+}
+
+/// Eager registrar: the proc.* names show up (as zeros) in
+/// `sysgo metrics dump` before the first sample.
+[[maybe_unused]] const bool kResourceGaugesRegistered =
+    (resource_gauges(), true);
+
+}  // namespace
+
+ResourceSample sample() {
+  ResourceSample s;
+#if defined(__linux__)
+  // VmRSS/VmHWM come from /proc: getrusage's ru_maxrss is also a peak but
+  // /proc keeps both current and peak in one read.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char buf[4096];
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    const std::int64_t rss = status_kb(buf, "VmRSS");
+    const std::int64_t hwm = status_kb(buf, "VmHWM");
+    if (rss >= 0) s.rss_kb = rss;
+    if (hwm >= 0) s.rss_peak_kb = hwm;
+    s.ok = rss >= 0 || hwm >= 0;
+  }
+  rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    s.minor_faults = static_cast<std::int64_t>(ru.ru_minflt);
+    s.major_faults = static_cast<std::int64_t>(ru.ru_majflt);
+    s.voluntary_ctx_switches = static_cast<std::int64_t>(ru.ru_nvcsw);
+    s.involuntary_ctx_switches = static_cast<std::int64_t>(ru.ru_nivcsw);
+    s.ok = true;
+  }
+#endif
+  return s;
+}
+
+void update_resource_gauges() {
+  const ResourceSample s = sample();
+  if (!s.ok) return;
+  ResourceGauges& g = resource_gauges();
+  g.rss_kb.set(s.rss_kb);
+  g.rss_peak_kb.record_max(s.rss_peak_kb);
+  g.minor_faults.set(s.minor_faults);
+  g.major_faults.set(s.major_faults);
+  g.voluntary.set(s.voluntary_ctx_switches);
+  g.involuntary.set(s.involuntary_ctx_switches);
+}
+
+}  // namespace sysgo::obs::resource

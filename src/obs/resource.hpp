@@ -1,0 +1,48 @@
+// Process resource profiling: memory and scheduler behavior sampled at
+// phase boundaries (end of a sweep, solver exit, snapshot write) — cheap
+// enough to be always-on, so long campaigns report their RSS high-water
+// mark and fault/context-switch totals without a profiler attached.
+//
+// Sources (Linux): current and peak RSS from /proc/self/status
+// (VmRSS/VmHWM), minor/major page faults and voluntary/involuntary
+// context switches from getrusage(RUSAGE_SELF).  On other platforms
+// sample() returns ok = false and the gauges stay untouched.
+//
+// update_resource_gauges() publishes one sample into the metrics registry:
+//
+//   proc.rss_kb                    current resident set (set)
+//   proc.rss_peak_kb               VmHWM high-water mark (record_max)
+//   proc.minor_faults              cumulative minor page faults (set)
+//   proc.major_faults              cumulative major page faults (set)
+//   proc.ctx_switches.voluntary    cumulative voluntary switches (set)
+//   proc.ctx_switches.involuntary  cumulative involuntary switches (set)
+//
+// Sampling never feeds computation results; it rides the same
+// byte-identity contract as the rest of src/obs/.
+#pragma once
+
+#include <cstdint>
+
+namespace sysgo::obs::resource {
+
+struct ResourceSample {
+  bool ok = false;  // false: platform/procfs unavailable, fields are zero
+  std::int64_t rss_kb = 0;
+  std::int64_t rss_peak_kb = 0;
+  std::int64_t minor_faults = 0;
+  std::int64_t major_faults = 0;
+  std::int64_t voluntary_ctx_switches = 0;
+  std::int64_t involuntary_ctx_switches = 0;
+};
+
+/// Read the process's resource usage now.  One /proc read plus one
+/// getrusage call — phase-boundary cost, never per-event.
+[[nodiscard]] ResourceSample sample();
+
+/// Sample and publish into the proc.* gauges (no-op off-Linux or when the
+/// obs registry is disabled).  Call at phase boundaries and immediately
+/// before snapshot writes so --metrics and `sysgo metrics dump` carry
+/// fresh values.
+void update_resource_gauges();
+
+}  // namespace sysgo::obs::resource

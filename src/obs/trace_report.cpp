@@ -1,5 +1,7 @@
 #include "obs/trace_report.hpp"
 
+#include "obs/json.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <cmath>
@@ -14,214 +16,6 @@
 namespace sysgo::obs::trace {
 
 namespace {
-
-// ------------------------------------------------------- minimal JSON value
-
-/// Just enough JSON for trace documents: objects, arrays, strings with the
-/// standard escapes, numbers, bools, null.  Keys keep document order.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-
-  [[nodiscard]] const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : members)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing data after document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("trace json: " + what + " at byte " +
-                             std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::kString;
-        v.str = string();
-        return v;
-      }
-      case 't': literal("true"); return make_bool(true);
-      case 'f': literal("false"); return make_bool(false);
-      case 'n': literal("null"); return JsonValue{};
-      default: return number();
-    }
-  }
-
-  static JsonValue make_bool(bool b) {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    v.boolean = b;
-    return v;
-  }
-
-  void literal(const char* word) {
-    const std::size_t len = std::strlen(word);
-    if (text_.compare(pos_, len, word) != 0) fail("bad literal");
-    pos_ += len;
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int k = 0; k < 4; ++k) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code += static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code += static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
-          }
-          // The exporter only emits \u00XX for control bytes; decode the
-          // BMP code point as UTF-8 for anything else.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default: fail("bad escape");
-      }
-    }
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    try {
-      v.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    return v;
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.items.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.members.emplace_back(std::move(key), value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
 
 /// Dump-local interner (parsed documents rebuild their own string table).
 struct DumpInterner {
@@ -241,10 +35,6 @@ struct DumpInterner {
     return nid;
   }
 };
-
-std::int64_t as_i64(const JsonValue& v) {
-  return static_cast<std::int64_t>(std::llround(v.number));
-}
 
 // --------------------------------------------------------- flight-bytes I/O
 
@@ -276,11 +66,11 @@ constexpr std::string_view kFlightMagic = "SYSGOFR1";
 }  // namespace
 
 TraceDump parse_chrome_json(const std::string& json) {
-  const JsonValue root = JsonParser(json).parse();
-  if (root.kind != JsonValue::Kind::kObject)
+  const json::Value root = json::parse(json);
+  if (root.kind != json::Value::Kind::kObject)
     throw std::runtime_error("trace json: document is not an object");
-  const JsonValue* events = root.find("traceEvents");
-  if (events == nullptr || events->kind != JsonValue::Kind::kArray)
+  const json::Value* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != json::Value::Kind::kArray)
     throw std::runtime_error("trace json: missing traceEvents array");
 
   TraceDump dump;
@@ -297,28 +87,29 @@ TraceDump parse_chrome_json(const std::string& json) {
     return idx;
   };
 
-  for (const JsonValue& ev : events->items) {
-    if (ev.kind != JsonValue::Kind::kObject) continue;
-    const JsonValue* ph = ev.find("ph");
-    if (ph == nullptr || ph->kind != JsonValue::Kind::kString) continue;
-    const JsonValue* tid = ev.find("tid");
+  for (const json::Value& ev : events->items) {
+    if (ev.kind != json::Value::Kind::kObject) continue;
+    const json::Value* ph = ev.find("ph");
+    if (ph == nullptr || ph->kind != json::Value::Kind::kString) continue;
+    const json::Value* tid = ev.find("tid");
     LaneDump& lane = dump.lanes[lane_index(
-        tid != nullptr && tid->kind == JsonValue::Kind::kNumber ? as_i64(*tid)
-                                                                : 0)];
-    const JsonValue* name = ev.find("name");
+        tid != nullptr && tid->kind == json::Value::Kind::kNumber
+            ? json::as_i64(*tid)
+            : 0)];
+    const json::Value* name = ev.find("name");
     const std::string name_str =
-        name != nullptr && name->kind == JsonValue::Kind::kString ? name->str
+        name != nullptr && name->kind == json::Value::Kind::kString ? name->str
                                                                   : "";
-    const JsonValue* args = ev.find("args");
+    const json::Value* args = ev.find("args");
     if (ph->str == "M") {
       if (args == nullptr) continue;
       if (name_str == "thread_name") {
-        if (const JsonValue* n = args->find("name"))
-          if (n->kind == JsonValue::Kind::kString) lane.name = n->str;
+        if (const json::Value* n = args->find("name"))
+          if (n->kind == json::Value::Kind::kString) lane.name = n->str;
       } else if (name_str == "sysgo_lane_dropped") {
-        if (const JsonValue* n = args->find("dropped"))
-          if (n->kind == JsonValue::Kind::kNumber)
-            lane.dropped = static_cast<std::uint64_t>(as_i64(*n));
+        if (const json::Value* n = args->find("dropped"))
+          if (n->kind == json::Value::Kind::kNumber)
+            lane.dropped = static_cast<std::uint64_t>(json::as_i64(*n));
       }
       continue;
     }
@@ -329,23 +120,23 @@ TraceDump parse_chrome_json(const std::string& json) {
     else if (ph->str == "f") e.kind = EventKind::kFlowEnd;
     else continue;  // foreign phase: skip
     e.name = intern.id(name_str);
-    if (const JsonValue* ts = ev.find("ts"))
-      if (ts->kind == JsonValue::Kind::kNumber)
-        e.ts_us = static_cast<std::uint64_t>(as_i64(*ts));
-    if (const JsonValue* dur = ev.find("dur"))
-      if (dur->kind == JsonValue::Kind::kNumber)
-        e.dur_us = static_cast<std::uint64_t>(as_i64(*dur));
-    if (const JsonValue* id = ev.find("id"))
-      if (id->kind == JsonValue::Kind::kNumber)
-        e.flow_id = static_cast<std::uint32_t>(as_i64(*id));
-    if (args != nullptr && args->kind == JsonValue::Kind::kObject) {
+    if (const json::Value* ts = ev.find("ts"))
+      if (ts->kind == json::Value::Kind::kNumber)
+        e.ts_us = static_cast<std::uint64_t>(json::as_i64(*ts));
+    if (const json::Value* dur = ev.find("dur"))
+      if (dur->kind == json::Value::Kind::kNumber)
+        e.dur_us = static_cast<std::uint64_t>(json::as_i64(*dur));
+    if (const json::Value* id = ev.find("id"))
+      if (id->kind == json::Value::Kind::kNumber)
+        e.flow_id = static_cast<std::uint32_t>(json::as_i64(*id));
+    if (args != nullptr && args->kind == json::Value::Kind::kObject) {
       for (const auto& [key, val] : args->members) {
         if (e.arg_count >= kMaxArgs) break;
-        if (val.kind == JsonValue::Kind::kNumber) {
+        if (val.kind == json::Value::Kind::kNumber) {
           e.arg_keys[e.arg_count] = intern.id(key);
-          e.arg_vals[e.arg_count] = as_i64(val);
+          e.arg_vals[e.arg_count] = json::as_i64(val);
           ++e.arg_count;
-        } else if (val.kind == JsonValue::Kind::kString) {
+        } else if (val.kind == json::Value::Kind::kString) {
           e.arg_keys[e.arg_count] = intern.id(key);
           e.arg_vals[e.arg_count] =
               static_cast<std::int64_t>(intern.id(val.str));

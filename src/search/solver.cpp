@@ -14,6 +14,7 @@
 #include "analysis/optimal.hpp"
 #include "graph/search.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/trace.hpp"
 #include "obs/wall_timer.hpp"
 #include "protocol/compiled.hpp"
@@ -40,6 +41,9 @@ struct SearchMetrics {
   obs::Counter& discovered = obs::counter("search.states_discovered");
   obs::Counter& deduped = obs::counter("search.states_deduped");
   obs::Counter& idbb_nodes = obs::counter("search.idbb_nodes");
+  // --perf: per-BFS-layer IPC / cache behavior (a layer whose IPC drops as
+  // `visited` grows is the canonicalizer thrashing the cache).
+  obs::perf::PerfRollup layer_perf{"search.layer"};
 };
 
 SearchMetrics& search_metrics() {
@@ -303,6 +307,10 @@ void gossip_bfs(const std::vector<Round>& moves, Mode mode,
       layer_span.arg(obs::trace::intern("frontier"),
                      static_cast<std::int64_t>(frontier.size()));
     }
+    // Declared after layer_span: the perf delta must land in the span's
+    // args before the span closes.
+    obs::perf::PerfScope layer_perf(search_metrics().layer_perf);
+    if (layer_perf.armed()) layer_perf.attach(&layer_span);
     const obs::WallTimer layer_timer;
     std::vector<State> next;
     std::mutex next_mutex;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/trace.hpp"
 #include "obs/wall_timer.hpp"
 #include "protocol/builders.hpp"
@@ -37,6 +38,8 @@ struct SynthMetrics {
   obs::Histogram& restart_micros = obs::histogram("synth.restart.micros");
   obs::Histogram& synthesize_micros =
       obs::histogram("synth.synthesize.micros");
+  // --perf: per-restart IPC / cache behavior of the annealing loop.
+  obs::perf::PerfRollup restart_perf{"synth.restart"};
 };
 
 SynthMetrics& synth_metrics() {
@@ -273,6 +276,9 @@ SynthResult synthesize(const graph::Digraph& g, const SynthOptions& opts) {
     const obs::ScopedTimer span(synth_metrics().restart_micros);
     obs::trace::TraceSpan trace_span(
         obs::trace::enabled() ? obs::trace::intern("synth.restart") : 0);
+    // Declared after trace_span so the perf delta lands in its args.
+    obs::perf::PerfScope perf_scope(synth_metrics().restart_perf);
+    if (perf_scope.armed()) perf_scope.attach(&trace_span);
     util::Rng rng(util::derive_seed(opts.seed, r));
     const auto initial =
         initial_schedule(g, static_cast<int>(r), coloring, opts, rng);

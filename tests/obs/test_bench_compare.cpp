@@ -1,0 +1,196 @@
+// Bench-snapshot parsing and regression gating: both schema versions
+// load, self-compares pass, a slowdown beyond the threshold fails the
+// compare (that is the CI gate), improvements and one-sided benchmarks do
+// not, and incomparable contexts are refused unless overridden.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/bench_compare.hpp"
+
+namespace sysgo::obs::bench {
+namespace {
+
+const char* kV1Doc = R"({
+  "sysgo_bench": 1,
+  "name": "demo",
+  "context": {"num_cpus": 1, "cpu_ghz": 2.100000},
+  "benchmarks": {
+    "work/a": {"time_unit": "ms", "reps": 1, "median_real_time": 10.0,
+               "p90_real_time": 10.0, "counters": {"rows/s": 1000.0}},
+    "work/b": {"time_unit": "us", "reps": 1, "median_real_time": 5.0,
+               "p90_real_time": 5.0}
+  }
+})";
+
+const char* kV2Doc = R"({
+  "sysgo_bench": 2,
+  "name": "demo",
+  "context": {"num_cpus": 8, "cpu_ghz": 2.100000, "kernel": "avx512",
+              "build_type": "release", "git_sha": "abc1234",
+              "perf_available": true},
+  "benchmarks": {
+    "work/a": {"time_unit": "ms", "reps": 5, "median_real_time": 10.0,
+               "p90_real_time": 11.0, "counters": {"rows/s": 1000.0},
+               "perf": {"ipc": 2.5, "task_clock_ms": 9.8}}
+  }
+})";
+
+/// A copy of `snap` with one benchmark's median scaled by `factor`.
+BenchSnapshot scaled(BenchSnapshot snap, const std::string& name,
+                     double factor) {
+  snap.benchmarks.at(name).median_real_time *= factor;
+  return snap;
+}
+
+TEST(BenchParse, SchemaV1LoadsWithoutNewContextFields) {
+  const BenchSnapshot snap = parse_snapshot(kV1Doc);
+  EXPECT_EQ(snap.schema, 1);
+  EXPECT_EQ(snap.name, "demo");
+  EXPECT_EQ(snap.context.num_cpus, 1);
+  EXPECT_TRUE(snap.context.kernel.empty());
+  EXPECT_FALSE(snap.context.perf_available);
+  ASSERT_EQ(snap.benchmarks.size(), 2u);
+  const BenchEntry& a = snap.benchmarks.at("work/a");
+  EXPECT_EQ(a.time_unit, "ms");
+  EXPECT_DOUBLE_EQ(a.median_real_time, 10.0);
+  EXPECT_DOUBLE_EQ(a.counters.at("rows/s"), 1000.0);
+  EXPECT_TRUE(snap.benchmarks.at("work/b").counters.empty());
+}
+
+TEST(BenchParse, SchemaV2LoadsContextAndPerf) {
+  const BenchSnapshot snap = parse_snapshot(kV2Doc);
+  EXPECT_EQ(snap.schema, 2);
+  EXPECT_EQ(snap.context.kernel, "avx512");
+  EXPECT_EQ(snap.context.build_type, "release");
+  EXPECT_EQ(snap.context.git_sha, "abc1234");
+  EXPECT_TRUE(snap.context.perf_available);
+  const BenchEntry& a = snap.benchmarks.at("work/a");
+  EXPECT_EQ(a.reps, 5);
+  EXPECT_DOUBLE_EQ(a.perf.at("ipc"), 2.5);
+}
+
+TEST(BenchParse, RejectsUnknownSchemaAndMalformedDocs) {
+  EXPECT_THROW(parse_snapshot("{\"sysgo_bench\": 3, \"name\": \"x\","
+                              " \"context\": {}, \"benchmarks\": {}}"),
+               std::runtime_error);
+  EXPECT_THROW(parse_snapshot("[1, 2]"), std::runtime_error);
+  EXPECT_THROW(parse_snapshot("{\"name\": \"x\"}"), std::runtime_error);
+}
+
+TEST(BenchCompare, SelfCompareAlwaysPasses) {
+  const BenchSnapshot snap = parse_snapshot(kV1Doc);
+  const CompareReport report = compare(snap, snap, {});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.regressions, 0u);
+  EXPECT_EQ(report.improvements, 0u);
+}
+
+TEST(BenchCompare, SlowdownBeyondThresholdFails) {
+  const BenchSnapshot base = parse_snapshot(kV1Doc);
+  const BenchSnapshot cur = scaled(base, "work/a", 1.30);  // +30%
+  CompareOptions opts;
+  opts.threshold_pct = 25.0;
+  const CompareReport report = compare(base, cur, opts);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.regressions, 1u);
+}
+
+TEST(BenchCompare, SlowdownWithinThresholdPasses) {
+  const BenchSnapshot base = parse_snapshot(kV1Doc);
+  const BenchSnapshot cur = scaled(base, "work/a", 1.20);  // +20% < 25%
+  CompareOptions opts;
+  opts.threshold_pct = 25.0;
+  EXPECT_TRUE(compare(base, cur, opts).ok());
+}
+
+TEST(BenchCompare, ImprovementIsReportedNotFailed) {
+  const BenchSnapshot base = parse_snapshot(kV1Doc);
+  const BenchSnapshot cur = scaled(base, "work/a", 0.5);  // 2x faster
+  const CompareReport report = compare(base, cur, {});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.improvements, 1u);
+}
+
+TEST(BenchCompare, CounterRateDropGatesOnlyWithCountersFlag) {
+  const BenchSnapshot base = parse_snapshot(kV1Doc);
+  BenchSnapshot cur = base;
+  cur.benchmarks.at("work/a").counters.at("rows/s") = 600.0;  // -40%
+  EXPECT_TRUE(compare(base, cur, {}).ok());  // times unchanged
+  CompareOptions opts;
+  opts.counters = true;
+  opts.threshold_pct = 25.0;
+  const CompareReport report = compare(base, cur, opts);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.regressions, 1u);
+}
+
+TEST(BenchCompare, OneSidedBenchmarksDoNotFail) {
+  const BenchSnapshot base = parse_snapshot(kV1Doc);
+  BenchSnapshot cur = base;
+  cur.benchmarks.erase("work/b");
+  cur.benchmarks["work/c"] = cur.benchmarks.at("work/a");
+  const CompareReport report = compare(base, cur, {});
+  EXPECT_TRUE(report.ok());
+  bool saw_missing = false;
+  bool saw_new = false;
+  for (const CompareRow& row : report.rows) {
+    if (row.name == "work/b") saw_missing |= row.status == RowStatus::kMissing;
+    if (row.name == "work/c") saw_new |= row.status == RowStatus::kNew;
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(BenchCompare, RefusesContextMismatchUnlessOverridden) {
+  const BenchSnapshot v2 = parse_snapshot(kV2Doc);
+  BenchSnapshot other = v2;
+  other.context.kernel = "scalar";
+  EXPECT_THROW((void)compare(v2, other, {}), std::invalid_argument);
+  CompareOptions opts;
+  opts.allow_context_mismatch = true;
+  const CompareReport report = compare(v2, other, opts);
+  EXPECT_TRUE(report.ok());
+  bool noted = false;
+  for (const std::string& note : report.context_notes)
+    if (note.find("kernel") != std::string::npos) noted = true;
+  EXPECT_TRUE(noted);
+}
+
+TEST(BenchCompare, V1AgainstV2SkipsAbsentContextFields) {
+  // A v1 baseline has no kernel/build_type: the compare must proceed (the
+  // fields are unknown, not different) and note the skip.
+  const BenchSnapshot v1 = parse_snapshot(kV1Doc);
+  BenchSnapshot v2 = parse_snapshot(kV2Doc);
+  v2.context.num_cpus = 1;  // num_cpus exists on both sides: must match
+  const CompareReport report = compare(v1, v2, {});
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.context_notes.empty());
+}
+
+TEST(BenchRender, ReportNamesTheVerdict) {
+  const BenchSnapshot base = parse_snapshot(kV1Doc);
+  const BenchSnapshot cur = scaled(base, "work/a", 2.0);
+  CompareOptions opts;
+  opts.threshold_pct = 25.0;
+  const CompareReport report = compare(base, cur, opts);
+  const std::string text = render_report(report, opts);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_EQ(render_report(compare(base, base, opts), opts).find("FAIL"),
+            std::string::npos);
+}
+
+TEST(BenchRender, LocalContextIsPopulated) {
+  const Context ctx = local_context();
+  EXPECT_GT(ctx.num_cpus, 0);
+  EXPECT_FALSE(ctx.kernel.empty());
+  EXPECT_TRUE(ctx.build_type == "release" || ctx.build_type == "debug");
+  const std::string text = render_context(ctx);
+  EXPECT_NE(text.find("kernel: "), std::string::npos);
+  EXPECT_NE(text.find("git_sha: "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sysgo::obs::bench

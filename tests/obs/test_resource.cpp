@@ -1,0 +1,67 @@
+// /proc-based resource sampling: a live Linux process has a nonzero RSS
+// whose high-watermark bounds it, and update_resource_gauges publishes
+// the sample into the proc.* gauge catalog.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+
+namespace sysgo::obs::resource {
+namespace {
+
+TEST(Resource, SampleReadsLiveProcessState) {
+#if !defined(__linux__)
+  GTEST_SKIP() << "resource sampling is Linux-only";
+#endif
+  const ResourceSample s = sample();
+  ASSERT_TRUE(s.ok);
+  EXPECT_GT(s.rss_kb, 0);
+  EXPECT_GE(s.rss_peak_kb, s.rss_kb);
+  EXPECT_GE(s.minor_faults, 0);
+  EXPECT_GE(s.major_faults, 0);
+  EXPECT_GE(s.voluntary_ctx_switches, 0);
+  EXPECT_GE(s.involuntary_ctx_switches, 0);
+}
+
+TEST(Resource, PeakRssNeverDecreases) {
+#if !defined(__linux__)
+  GTEST_SKIP() << "resource sampling is Linux-only";
+#endif
+  const ResourceSample before = sample();
+  // Touch a few MB so RSS moves; the high-watermark must follow.
+  std::vector<char> block(4 << 20, 1);
+  for (std::size_t i = 0; i < block.size(); i += 4096) block[i] = 2;
+  const ResourceSample after = sample();
+  EXPECT_GE(after.rss_peak_kb, before.rss_peak_kb);
+  EXPECT_GE(after.minor_faults, before.minor_faults);
+}
+
+TEST(Resource, GaugesPublishTheSample) {
+#if !defined(__linux__)
+  GTEST_SKIP() << "resource sampling is Linux-only";
+#endif
+  update_resource_gauges();
+  EXPECT_GT(gauge("proc.rss_kb").value(), 0);
+  EXPECT_GE(gauge("proc.rss_peak_kb").value(), gauge("proc.rss_kb").value());
+  EXPECT_GT(gauge("proc.minor_faults").value(), 0);
+}
+
+TEST(Resource, GaugeNamesAreRegisteredEagerly) {
+  // Present in the catalog (zeros before the first sample) so `sysgo
+  // metrics dump` schemas include them regardless of platform.
+  const auto snap = snapshot();
+  std::size_t found = 0;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "proc.rss_kb" || g.name == "proc.rss_peak_kb" ||
+        g.name == "proc.minor_faults" || g.name == "proc.major_faults" ||
+        g.name == "proc.ctx_switches.voluntary" ||
+        g.name == "proc.ctx_switches.involuntary")
+      ++found;
+  }
+  EXPECT_EQ(found, 6u);
+}
+
+}  // namespace
+}  // namespace sysgo::obs::resource

@@ -13,12 +13,15 @@
 //   sysgo kernels [--have K]              SIMD row-kernel dispatch report
 //   sysgo metrics dump                    render the obs metric catalog
 //   sysgo trace report <PATH>             analyze a saved span trace
+//   sysgo bench compare BASE CUR          gate on benchmark regressions
+//   sysgo bench list|context              snapshot / host introspection
 //
 // sweep/solve/synth accept --metrics PATH (write an obs snapshot at exit),
-// --progress (throttled stderr heartbeat with ETA and cache hit rate), and
+// --progress (throttled stderr heartbeat with ETA and cache hit rate),
 // --trace PATH (record a span timeline: Chrome trace-event JSON for *.json,
 // binary flight-recorder bytes otherwise; analyze with `sysgo trace
-// report`).
+// report`), and --perf (collect perf_event counters into the --metrics
+// snapshot and --trace span args; degrades to a no-op without PMU access).
 //
 // Schedule files use the io/protocol_text format ("sysgo-schedule v1").
 // All numeric flags go through util/parse: garbage ("--threads 4x"),
@@ -49,7 +52,10 @@
 #include "io/graph_text.hpp"
 #include "io/protocol_text.hpp"
 #include "io/sweep_io.hpp"
+#include "obs/bench_compare.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
+#include "obs/resource.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_report.hpp"
 #include "obs/wall_timer.hpp"
@@ -76,7 +82,8 @@ int usage() {
                "              [--format csv|json] [--max-rounds M] "
                "[--seed S] [--no-cache]\n"
                "              [--store PATH] [--resume] [--shard i/m]\n"
-               "              [--metrics PATH] [--progress] [--trace PATH]\n"
+               "              [--metrics PATH] [--progress] [--trace PATH] "
+               "[--perf]\n"
                "      families: bf wbf-dir wbf db-dir db kautz-dir kautz "
                "cycle complete hypercube ccc se knodel rr gnp\n"
                "      (rr/gnp are seeded random members; --seed picks the "
@@ -101,6 +108,11 @@ int usage() {
                "trace-event JSON for *.json\n"
                "                     (chrome://tracing / Perfetto), binary "
                "flight bytes otherwise\n"
+               "      --perf         collect perf_event counters (cycles, "
+               "IPC, cache misses)\n"
+               "                     into --metrics rollups and --trace span "
+               "args; no-op\n"
+               "                     where counters are unavailable\n"
                "  sysgo solve [--families f1,..] [--d 2] [--D lo:hi] "
                "[--modes half,full]\n"
                "              [--problems gossip,broadcast] [--threads N] "
@@ -109,7 +121,7 @@ int usage() {
                "csv|json] [--no-cache]\n"
                "              [--store PATH] [--resume] [--shard i/m] "
                "[--metrics PATH] [--progress]\n"
-               "              [--trace PATH]\n"
+               "              [--trace PATH] [--perf]\n"
                "      exact optima via the symmetry-reduced search (n <= 12;\n"
                "      default: cycle, D=4:9, both modes, both problems)\n"
                "  sysgo synth [--families f1,..] [--d 2] [--D lo:hi] "
@@ -121,7 +133,7 @@ int usage() {
                "              [--format csv|json] [--no-cache]\n"
                "              [--store PATH] [--resume] [--shard i/m] "
                "[--metrics PATH] [--progress]\n"
-               "              [--trace PATH]\n"
+               "              [--trace PATH] [--perf]\n"
                "      multi-start annealing schedule synthesis (src/synth/);\n"
                "      default: db,kautz, d=2, D=3:5, half duplex\n"
                "  sysgo store merge --out OUT IN1 [IN2 ...]\n"
@@ -146,7 +158,23 @@ int usage() {
                "      analyze a --trace file (JSON or flight binary): "
                "critical path,\n"
                "      per-worker utilization, span-duration top-K, per-stage "
-               "breakdown\n");
+               "breakdown\n"
+               "  sysgo bench compare <BASELINE.json> <CURRENT.json> "
+               "[--threshold PCT]\n"
+               "                      [--counters] "
+               "[--allow-context-mismatch]\n"
+               "      diff two BENCH_*.json snapshots; exit 1 when a median "
+               "real time\n"
+               "      regresses more than PCT%% (default 10; --counters also "
+               "gates rate\n"
+               "      counters).  Refuses kernel/build/num_cpus mismatches "
+               "unless overridden\n"
+               "  sysgo bench list <SNAPSHOT.json>\n"
+               "      one line per benchmark: median, p90, reps\n"
+               "  sysgo bench context\n"
+               "      the context a bench run would record on this host "
+               "(cpus, kernel,\n"
+               "      build type, git sha, perf availability)\n");
   return 2;
 }
 
@@ -268,6 +296,7 @@ struct StreamConfig {
   std::string metrics_path;  // --metrics: obs snapshot written at exit
   bool progress = false;     // --progress: stderr heartbeat
   std::string trace_path;    // --trace: span trace written at exit
+  bool perf = false;         // --perf: perf_event counter collection
 };
 
 /// Throttled stderr heartbeat (--progress): done/total, percentage, elapsed
@@ -373,6 +402,7 @@ int stream_spec(const sysgo::engine::ScenarioSpec& spec,
   }
   OrderedEmitter emitter;
   ProgressMeter meter(jobs.size());
+  if (cfg.perf) sysgo::obs::perf::set_enabled(true);
   if (!cfg.trace_path.empty()) {
     // Recording starts here, so the trace covers exactly this run; the
     // caller's lane is "main" (workers name theirs on startup).
@@ -419,8 +449,12 @@ int stream_spec(const sysgo::engine::ScenarioSpec& spec,
                records.size(), stats.hits, stats.misses, hit_pct);
   // The snapshot is written even when conflicts fail the run below — a
   // diverging campaign is exactly when the metrics are worth reading.
-  if (!cfg.metrics_path.empty())
+  if (!cfg.metrics_path.empty()) {
+    // End-of-run resource gauges (RSS high-watermark, fault and context-
+    // switch totals) ride along in the same snapshot.
+    sysgo::obs::resource::update_resource_gauges();
     sysgo::obs::write_metrics_file(cfg.metrics_path);
+  }
   if (store != nullptr) {
     const auto rs = runner.run_stats();
     std::fprintf(stderr,
@@ -517,6 +551,8 @@ int cmd_sweep(int argc, char** argv) {
       cfg.progress = true;
     } else if (flag == "--trace") {
       cfg.trace_path = value();
+    } else if (flag == "--perf") {
+      cfg.perf = true;
     } else {
       std::fprintf(stderr, "unknown sweep flag: %s\n", flag.c_str());
       return usage();
@@ -617,6 +653,8 @@ int cmd_solve(int argc, char** argv) {
         cfg.progress = true;
       } else if (flag == "--trace") {
         cfg.trace_path = value();
+      } else if (flag == "--perf") {
+        cfg.perf = true;
       } else {
         std::fprintf(stderr, "unknown solve flag: %s\n", flag.c_str());
         return usage();
@@ -707,6 +745,8 @@ int cmd_synth(int argc, char** argv) {
         cfg.progress = true;
       } else if (flag == "--trace") {
         cfg.trace_path = value();
+      } else if (flag == "--perf") {
+        cfg.perf = true;
       } else {
         std::fprintf(stderr, "unknown synth flag: %s\n", flag.c_str());
         return usage();
@@ -824,9 +864,11 @@ int cmd_simulate(int argc, char** argv) {
 // -------------------------------------------------------------- metrics
 
 /// `sysgo metrics dump [--format json|csv]`: render the registry snapshot.
-/// In a fresh process every value is zero, but the full metric catalog is
-/// present (every instrumented TU registers its names eagerly) — the quick
-/// way to see what --metrics will produce and to smoke-test the schema.
+/// In a fresh process every counter and histogram is zero, but the full
+/// metric catalog is present (every instrumented TU registers its names
+/// eagerly) — the quick way to see what --metrics will produce and to
+/// smoke-test the schema.  The proc.* resource gauges are sampled live so
+/// the dump doubles as a quick `where is my memory` probe.
 int cmd_metrics(int argc, char** argv) {
   if (argc < 1 || std::strcmp(argv[0], "dump") != 0) return usage();
   bool csv = false;
@@ -844,11 +886,63 @@ int cmd_metrics(int argc, char** argv) {
       return usage();
     }
   }
+  sysgo::obs::resource::update_resource_gauges();
   const auto snap = sysgo::obs::snapshot();
   std::fputs(
       (csv ? sysgo::obs::to_csv(snap) : sysgo::obs::to_json(snap)).c_str(),
       stdout);
   return 0;
+}
+
+// ---------------------------------------------------------------- bench
+
+/// `sysgo bench compare|list|context`: the benchmark-regression harness.
+/// compare diffs two BENCH_*.json snapshots (written by the bench/ binaries
+/// via bench_json.hpp) and exits non-zero on a regression beyond the
+/// threshold — the CI gate.  list/context are introspection helpers.
+int cmd_bench(int argc, char** argv) {
+  namespace bench = sysgo::obs::bench;
+  if (argc < 1) return usage();
+  const std::string verb = argv[0];
+  if (verb == "context") {
+    if (argc != 1) return usage();
+    std::fputs(bench::render_context(bench::local_context()).c_str(), stdout);
+    return 0;
+  }
+  if (verb == "list") {
+    if (argc != 2) return usage();
+    const auto snap = bench::parse_snapshot(read_file(argv[1]));
+    std::fputs(bench::render_list(snap).c_str(), stdout);
+    return 0;
+  }
+  if (verb != "compare" || argc < 3) return usage();
+  const std::string base_path = argv[1];
+  const std::string cur_path = argv[2];
+  bench::CompareOptions opts;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--threshold") {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("missing value for --threshold");
+      opts.threshold_pct = sysgo::util::parse_double(argv[++i], flag);
+      if (opts.threshold_pct <= 0.0)
+        throw std::invalid_argument("--threshold must be > 0");
+    } else if (flag == "--counters") {
+      opts.counters = true;
+    } else if (flag == "--allow-context-mismatch") {
+      opts.allow_context_mismatch = true;
+    } else {
+      std::fprintf(stderr, "unknown bench flag: %s\n", flag.c_str());
+      return usage();
+    }
+  }
+  const auto baseline = bench::parse_snapshot(read_file(base_path));
+  const auto current = bench::parse_snapshot(read_file(cur_path));
+  const auto report = bench::compare(baseline, current, opts);
+  std::printf("bench compare: %s (baseline) vs %s (current)\n",
+              base_path.c_str(), cur_path.c_str());
+  std::fputs(bench::render_report(report, opts).c_str(), stdout);
+  return report.ok() ? 0 : 1;
 }
 
 // ---------------------------------------------------------------- trace
@@ -943,6 +1037,7 @@ int main(int argc, char** argv) {
     if (cmd == "kernels") return cmd_kernels(argc - 2, argv + 2);
     if (cmd == "metrics") return cmd_metrics(argc - 2, argv + 2);
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
+    if (cmd == "bench") return cmd_bench(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
