@@ -72,7 +72,10 @@ enum class EventKind : std::uint8_t {
   kFlowEnd = 3,   // arrow head at ts_us
 };
 
-inline constexpr std::size_t kMaxArgs = 4;
+// 8 fits str_mask's uint8 bit-per-arg exactly; the synthesizer's restart
+// spans are the widest emitter (restart/accepted/improved + the three
+// replay-savings args).
+inline constexpr std::size_t kMaxArgs = 8;
 
 /// One event arg: interned key, and either a plain integer value or (when
 /// the event's str_mask bit is set) an interned-string value id.

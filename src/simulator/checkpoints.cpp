@@ -1,0 +1,237 @@
+#include "simulator/checkpoints.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sysgo::simulator {
+
+namespace {
+
+int checked_stride(int stride) {
+  if (stride < 1)
+    throw std::invalid_argument("checkpoints: need stride >= 1");
+  return stride;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- KnowledgeCheckpoints
+
+KnowledgeCheckpoints::KnowledgeCheckpoints(int stride)
+    : stride_rounds_(checked_stride(stride)) {}
+
+KnowledgeMatrix& KnowledgeCheckpoints::acquire(int n) {
+  if (!know_ || know_->size() != n) {
+    know_ = std::make_unique<KnowledgeMatrix>(n);
+    pending_in_.assign(static_cast<std::size_t>(n), 0);
+    versions_.assign(static_cast<std::size_t>(n), {});
+    pool_.clear();  // pooled buffers were sized for the old n
+  } else {
+    know_->reset();
+    std::fill(pending_in_.begin(), pending_in_.end(), 0);
+    for (auto& stack : versions_) stack.clear();
+  }
+  pending_.clear();
+  while (!checkpoints_.empty()) {
+    pool_.push_back(std::move(checkpoints_.back()));
+    checkpoints_.pop_back();
+  }
+  bytes_ = 0;
+  live_round_ = 0;
+  return *know_;
+}
+
+void KnowledgeCheckpoints::touch(int v) {
+  if (!pending_in_[static_cast<std::size_t>(v)]) {
+    pending_in_[static_cast<std::size_t>(v)] = 1;
+    pending_.push_back(v);
+  }
+}
+
+void KnowledgeCheckpoints::after_round(int round,
+                                       std::span<const graph::Arc> links,
+                                       bool full_duplex) {
+  // Once every row is pending, marking cannot add anything — skip it.  On
+  // dense schedules the set saturates a couple of rounds past the last
+  // checkpoint, so the long adaptive-cap probes beyond the snapshot
+  // horizon run at plain simulation speed.
+  if (pending_.size() < static_cast<std::size_t>(know_->size())) {
+    for (const graph::Arc& a : links) {
+      // Half-duplex merges write the head row only; full-duplex exchanges
+      // write both.  Marking a row whose merge was skipped (already full)
+      // is harmless — restores just re-copy an identical row.
+      touch(a.head);
+      if (full_duplex) touch(a.tail);
+    }
+  }
+  live_round_ = round;
+  if (round <= horizon_ && round % stride_rounds_ == 0 && !pending_.empty())
+    take_snapshot(round);
+}
+
+void KnowledgeCheckpoints::take_snapshot(int round) {
+  const std::size_t stride = know_->stride();
+  Snapshot snap;
+  if (!pool_.empty()) {  // recycle buffers — snapshots churn once per eval
+    snap = std::move(pool_.back());
+    pool_.pop_back();
+    snap.rows.clear();
+    snap.counts.clear();
+  }
+  snap.round = round;
+  snap.rows.swap(pending_);  // pending_ inherits the recycled capacity
+  snap.counts.reserve(snap.rows.size());
+  snap.words.resize(snap.rows.size() * stride);
+  const std::uint32_t snapshot_idx =
+      static_cast<std::uint32_t>(checkpoints_.size());
+  for (std::uint32_t slot = 0; slot < snap.rows.size(); ++slot) {
+    const int v = snap.rows[slot];
+    pending_in_[static_cast<std::size_t>(v)] = 0;
+    const auto row = know_->row(v);
+    std::memcpy(snap.words.data() + slot * stride, row.data(),
+                stride * sizeof(std::uint64_t));
+    snap.counts.push_back(know_->count(v));
+    versions_[static_cast<std::size_t>(v)].push_back({round, snapshot_idx, slot});
+  }
+  bytes_ += snap.words.size() * sizeof(std::uint64_t);
+  checkpoints_.push_back(std::move(snap));
+}
+
+int KnowledgeCheckpoints::rewind(int target) {
+  if (live_round_ <= target) return live_round_;
+  // Drop whole checkpoint windows above the target.  Their row lists join
+  // pending_: together they are exactly the rows dirtied after the
+  // remaining top checkpoint (the invariant in the header), i.e. the full
+  // restore set — no per-row scan of the matrix is needed.
+  while (!checkpoints_.empty() && checkpoints_.back().round > target) {
+    Snapshot& snap = checkpoints_.back();
+    for (const int v : snap.rows) {
+      versions_[static_cast<std::size_t>(v)].pop_back();
+      touch(v);
+    }
+    bytes_ -= snap.words.size() * sizeof(std::uint64_t);
+    pool_.push_back(std::move(snap));
+    checkpoints_.pop_back();
+  }
+
+  const int c = checkpoints_.empty() ? 0 : checkpoints_.back().round;
+  const std::size_t stride = know_->stride();
+  for (const int v : pending_) {
+    pending_in_[static_cast<std::size_t>(v)] = 0;
+    const auto& stack = versions_[static_cast<std::size_t>(v)];
+    if (stack.empty()) {
+      know_->reset_row(v);
+    } else {
+      const RowVersion& top = stack.back();  // round <= c by the invariant
+      const Snapshot& snap = checkpoints_[top.snapshot];
+      know_->restore_row(v, snap.words.data() + top.slot * stride,
+                         snap.counts[top.slot]);
+    }
+  }
+  // The live state now *is* checkpoint c: nothing is dirty in (c, c].
+  pending_.clear();
+  live_round_ = c;
+  return c;
+}
+
+// ----------------------------------------------------------- ReachCheckpoints
+
+ReachCheckpoints::ReachCheckpoints(int stride)
+    : stride_rounds_(checked_stride(stride)) {}
+
+void ReachCheckpoints::acquire(int n, int source) {
+  if (source < 0 || source >= n)
+    throw std::invalid_argument("ReachCheckpoints: source out of range");
+  n_ = n;
+  source_ = source;
+  reach_.assign(static_cast<std::size_t>(n), 0);
+  reach_[static_cast<std::size_t>(source)] = 1;
+  reached_ = 1;
+  live_round_ = 0;
+  while (!checkpoints_.empty()) {
+    pool_.push_back(std::move(checkpoints_.back()));
+    checkpoints_.pop_back();
+  }
+  bytes_ = 0;
+}
+
+void ReachCheckpoints::step(std::span<const graph::Arc> links,
+                            bool expand_pairs) noexcept {
+  for (const graph::Arc& a : links) {
+    if (reach_[static_cast<std::size_t>(a.tail)] &&
+        !reach_[static_cast<std::size_t>(a.head)]) {
+      reach_[static_cast<std::size_t>(a.head)] = 1;
+      ++reached_;
+    } else if (expand_pairs && reach_[static_cast<std::size_t>(a.head)] &&
+               !reach_[static_cast<std::size_t>(a.tail)]) {
+      reach_[static_cast<std::size_t>(a.tail)] = 1;
+      ++reached_;
+    }
+  }
+}
+
+void ReachCheckpoints::after_round(int round) {
+  live_round_ = round;
+  if (round > horizon_ || round % stride_rounds_ != 0) return;
+  Snapshot snap;
+  if (!pool_.empty()) {  // recycle buffers — snapshots churn once per eval
+    snap = std::move(pool_.back());
+    pool_.pop_back();
+  }
+  snap.round = round;
+  snap.reached = reached_;
+  snap.reach = reach_;
+  bytes_ += snap.reach.size();
+  checkpoints_.push_back(std::move(snap));
+}
+
+int ReachCheckpoints::rewind(int target) {
+  while (!checkpoints_.empty() && checkpoints_.back().round > target) {
+    bytes_ -= checkpoints_.back().reach.size();
+    pool_.push_back(std::move(checkpoints_.back()));
+    checkpoints_.pop_back();
+  }
+  if (live_round_ <= target) return live_round_;
+  if (checkpoints_.empty()) {
+    std::fill(reach_.begin(), reach_.end(), 0);
+    reach_[static_cast<std::size_t>(source_)] = 1;
+    reached_ = 1;
+    live_round_ = 0;
+  } else {
+    const Snapshot& snap = checkpoints_.back();
+    std::memcpy(reach_.data(), snap.reach.data(), reach_.size());
+    reached_ = snap.reached;
+    live_round_ = snap.round;
+  }
+  return live_round_;
+}
+
+// --------------------------------------------------- compiled-schedule entry
+
+ReplayOutcome replay_gossip_from(KnowledgeCheckpoints& cps,
+                                 const protocol::CompiledSchedule& cs,
+                                 int from_round, int max_rounds) {
+  if (!cps.allocated() || cps.matrix().size() != cs.n())
+    throw std::invalid_argument("replay_gossip_from: acquire(cs.n()) first");
+  if (!cs.periodic()) max_rounds = std::min(max_rounds, cs.round_count());
+  const bool full = cs.mode() == protocol::Mode::kFullDuplex;
+  return replay_gossip_rounds(
+      cps, cs.round_count(), full, from_round, max_rounds,
+      [&cs, full](int p) { return full ? cs.round_pairs(p) : cs.round_arcs(p); });
+}
+
+ReplayOutcome replay_broadcast_from(ReachCheckpoints& cps,
+                                    const protocol::CompiledSchedule& cs,
+                                    int from_round, int max_rounds) {
+  if (!cps.allocated() || cps.size() != cs.n())
+    throw std::invalid_argument(
+        "replay_broadcast_from: acquire(cs.n(), source) first");
+  if (!cs.periodic()) max_rounds = std::min(max_rounds, cs.round_count());
+  // Compiled rounds carry both directions of a full-duplex exchange, so the
+  // plain directed relay covers exchanges without pair expansion.
+  return replay_broadcast_rounds(cps, cs.round_count(), false, from_round,
+                                 max_rounds,
+                                 [&cs](int p) { return cs.round_arcs(p); });
+}
+
+}  // namespace sysgo::simulator

@@ -1,0 +1,308 @@
+// Per-round knowledge checkpoints: the delta-evaluation substrate.
+//
+// A move on a periodic schedule that touches stored round p leaves the
+// knowledge evolution of executed rounds 1..p untouched — only the suffix
+// from p+1 must be re-simulated.  KnowledgeCheckpoints wraps a
+// KnowledgeMatrix with copy-on-write round snapshots so that suffix replay
+// is cheap to *start*: every `stride` executed rounds it records the rows
+// dirtied since the previous checkpoint (and only those — each snapshot is
+// the copy-on-write delta of one stride window), and rewind(t) restores the
+// live matrix to the nearest checkpoint c <= t by one aligned memcpy per
+// row dirtied after c.  Rows are stored at the matrix's cache-line stride,
+// so restores hit the same aligned fast path as the SIMD merge kernels, and
+// the per-row item counts ride along — the O(1) completion counters stay
+// exact after a restore.
+//
+// Bookkeeping invariant: every checkpoint stores exactly the rows dirtied
+// since the previous taken checkpoint, and `pending_` holds the rows
+// dirtied since the last taken checkpoint.  After dropping all checkpoints
+// above a target, the rows dirtied after the remaining top checkpoint c are
+// exactly pending_ plus the dropped checkpoints' row lists — there is
+// nothing to scan.  For each such row, its top surviving snapshot entry is
+// its state at c (had the row changed in (entry, c], the checkpoint at or
+// before c covering that window would have captured it — pending carries
+// rows across horizon-skipped windows until the next taken checkpoint);
+// rows with no entry are still in the identity start state.  This holds
+// across any interleaving of replays, rewinds, and horizon changes,
+// because all mutations flow through after_round and drops only pop whole
+// suffix windows.
+//
+// ReachCheckpoints is the single-source (broadcast) counterpart: the state
+// is one reach byte per vertex, small enough that full copies per
+// checkpoint beat copy-on-write bookkeeping.
+//
+// replay_gossip_rounds / replay_broadcast_rounds are the resume loops —
+// header templates over a `links_of(period_round)` source so the
+// synthesizer's drafts and compiled schedules share them; replay_from
+// wraps them for CompiledSchedule (the simulator-level entry).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "protocol/compiled.hpp"
+#include "simulator/knowledge.hpp"
+#include "util/aligned.hpp"
+
+namespace sysgo::simulator {
+
+/// Default checkpoint spacing in rounds.  Snapshots are COW deltas, so the
+/// cost of a small stride is bounded by the rows actually touched; a restore
+/// replays at most stride-1 rounds beyond the invalidation point.
+inline constexpr int kDefaultCheckpointStride = 4;
+
+/// Outcome of a (possibly resumed) run.  `rounds` is the 1-based completion
+/// round when complete, otherwise the cap the run was cut off at;
+/// `start_round` is where the replay actually resumed (rounds replayed =
+/// rounds - start_round).
+struct ReplayOutcome {
+  bool complete = false;
+  int rounds = 0;
+  int start_round = 0;
+};
+
+class KnowledgeCheckpoints {
+ public:
+  explicit KnowledgeCheckpoints(int stride = kDefaultCheckpointStride);
+
+  /// Hard reset: identity start state at round 0, all checkpoints dropped.
+  /// Reallocates only when n differs from the previous acquisition.
+  KnowledgeMatrix& acquire(int n);
+
+  [[nodiscard]] KnowledgeMatrix& matrix() noexcept { return *know_; }
+  [[nodiscard]] const KnowledgeMatrix& matrix() const noexcept {
+    return *know_;
+  }
+  [[nodiscard]] bool allocated() const noexcept { return know_ != nullptr; }
+
+  /// Executed round the live matrix currently reflects.
+  [[nodiscard]] int live_round() const noexcept { return live_round_; }
+
+  [[nodiscard]] int stride() const noexcept { return stride_rounds_; }
+
+  /// Stop taking snapshots beyond round `h` (touch tracking continues, so
+  /// rewinds below the horizon stay exact).  Pure policy: a caller that
+  /// knows every future rewind target is < h — the synthesizer's targets
+  /// are stored-round indices, all < period — skips the snapshot cost of
+  /// the long tail past the period.  Default: no horizon.
+  void set_snapshot_horizon(int h) noexcept { horizon_ = h; }
+
+  /// Record that executed round `round` just merged `links` into the live
+  /// matrix (head rows; both endpoints when full_duplex), and snapshot the
+  /// dirty window when the round lands on the stride grid.  Must be called
+  /// with consecutive rounds live_round()+1, live_round()+2, ...
+  void after_round(int round, std::span<const graph::Arc> links,
+                   bool full_duplex);
+
+  /// Drop checkpoints after `target` and restore the live matrix to the
+  /// nearest remaining checkpoint at or below it (round 0 = identity when
+  /// none).  Returns the round actually restored to — live_round() when the
+  /// live state is already at or before `target` (no work).
+  int rewind(int target);
+
+  /// What rewind(target) would return, without doing any work.  Lets a
+  /// caller detect a from-scratch replay (resume point 0) up front and
+  /// choose a cheaper uncheckpointed path.
+  [[nodiscard]] int resume_point(int target) const noexcept {
+    if (live_round_ <= target) return live_round_;
+    for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it)
+      if (it->round <= target) return it->round;
+    return 0;
+  }
+
+  /// Bytes held by snapshot row buffers (the gauge the obs layer reports).
+  [[nodiscard]] std::size_t checkpoint_bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] int checkpoint_count() const noexcept {
+    return static_cast<int>(checkpoints_.size());
+  }
+
+ private:
+  // A row's saved state inside checkpoints_[snapshot]: row buffer at
+  // slot * row-stride, count/touch at slot.  Per-row entry stacks stay
+  // sorted by round because snapshots push monotonically and rewinds pop
+  // whole suffixes.
+  struct RowVersion {
+    int round;
+    std::uint32_t snapshot;
+    std::uint32_t slot;
+  };
+  struct Snapshot {
+    int round = 0;
+    std::vector<int> rows;    // which rows this window dirtied
+    std::vector<int> counts;  // their item counts at `round`
+    util::CacheAlignedVector<std::uint64_t> words;
+  };
+
+  void touch(int v);
+  void take_snapshot(int round);
+
+  int stride_rounds_;
+  int horizon_ = std::numeric_limits<int>::max();
+  std::unique_ptr<KnowledgeMatrix> know_;
+  int live_round_ = 0;
+  std::vector<char> pending_in_;   // membership flags for pending_
+  std::vector<int> pending_;       // rows dirtied since the last checkpoint
+  std::vector<std::vector<RowVersion>> versions_;  // per-row entry stacks
+  std::vector<Snapshot> checkpoints_;
+  std::vector<Snapshot> pool_;     // retired snapshots, kept for their buffers
+  std::size_t bytes_ = 0;
+};
+
+/// Broadcast-state checkpoints: reach vector + reached count, snapshotted
+/// in full every `stride` rounds (n bytes a copy — COW would cost more in
+/// bookkeeping than it saves).
+class ReachCheckpoints {
+ public:
+  explicit ReachCheckpoints(int stride = kDefaultCheckpointStride);
+
+  /// Hard reset: only `source` reached, round 0, checkpoints dropped.
+  /// Throws std::invalid_argument for a source out of range.
+  void acquire(int n, int source);
+
+  [[nodiscard]] bool allocated() const noexcept { return n_ > 0; }
+  [[nodiscard]] int size() const noexcept { return n_; }
+  [[nodiscard]] int source() const noexcept { return source_; }
+  [[nodiscard]] int reached() const noexcept { return reached_; }
+  [[nodiscard]] bool complete() const noexcept { return reached_ == n_; }
+  [[nodiscard]] int live_round() const noexcept { return live_round_; }
+  [[nodiscard]] int stride() const noexcept { return stride_rounds_; }
+
+  /// Same policy knob as KnowledgeCheckpoints::set_snapshot_horizon.
+  void set_snapshot_horizon(int h) noexcept { horizon_ = h; }
+
+  /// Relay one round of links.  expand_pairs: links are full-duplex
+  /// tail < head representatives, so both directions relay (a compiled
+  /// round's arc list already carries both and passes false).  Matching
+  /// property: a vertex sits in at most one link per round, so immediate
+  /// marking equals snapshot semantics.
+  void step(std::span<const graph::Arc> links, bool expand_pairs) noexcept;
+
+  /// Snapshot hook; same contract as KnowledgeCheckpoints::after_round.
+  void after_round(int round);
+
+  /// Same contract as KnowledgeCheckpoints::rewind.
+  int rewind(int target);
+
+  /// Same contract as KnowledgeCheckpoints::resume_point.
+  [[nodiscard]] int resume_point(int target) const noexcept {
+    if (live_round_ <= target) return live_round_;
+    for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it)
+      if (it->round <= target) return it->round;
+    return 0;
+  }
+
+  [[nodiscard]] std::size_t checkpoint_bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] int checkpoint_count() const noexcept {
+    return static_cast<int>(checkpoints_.size());
+  }
+
+ private:
+  struct Snapshot {
+    int round = 0;
+    int reached = 0;
+    std::vector<char> reach;
+  };
+
+  int stride_rounds_;
+  int horizon_ = std::numeric_limits<int>::max();
+  int n_ = 0;
+  int source_ = 0;
+  int reached_ = 0;
+  int live_round_ = 0;
+  std::vector<char> reach_;
+  std::vector<Snapshot> checkpoints_;
+  std::vector<Snapshot> pool_;  // retired snapshots, kept for their buffers
+  std::size_t bytes_ = 0;
+};
+
+/// Resume a gossip run at the nearest checkpoint <= from_round and run to
+/// completion or max_rounds, snapshotting along the way.  `links_of(p)`
+/// yields stored round p's links: directed arcs (half duplex) or tail <
+/// head pair representatives (full duplex) — exactly the KnowledgeMatrix
+/// merge_arcs / merge_pairs work lists.  Caller contract: the link source
+/// agrees with every previously replayed round at or before from_round
+/// (rewind only unwinds state, it cannot re-check history).
+template <typename LinksOf>
+ReplayOutcome replay_gossip_rounds(KnowledgeCheckpoints& cps, int period,
+                                   bool full_duplex, int from_round,
+                                   int max_rounds, LinksOf&& links_of) {
+  KnowledgeMatrix& know = cps.matrix();
+  const int target = std::min(from_round < 0 ? 0 : from_round, max_rounds);
+  ReplayOutcome out;
+  out.start_round = cps.rewind(target);
+  if (know.all_full()) {
+    // A checkpointed (or live) state is only full at the completion round
+    // itself — execution never runs past completion — so the restored
+    // round *is* the first-full round of any draft sharing this prefix.
+    out.complete = true;
+    out.rounds = out.start_round;
+    return out;
+  }
+  for (int i = out.start_round + 1; i <= max_rounds; ++i) {
+    const auto links = links_of((i - 1) % period);
+    if (full_duplex)
+      know.merge_pairs(links);
+    else
+      know.merge_arcs(links);
+    cps.after_round(i, links, full_duplex);
+    if (know.all_full()) {
+      out.complete = true;
+      out.rounds = i;
+      return out;
+    }
+  }
+  out.rounds = max_rounds;
+  return out;
+}
+
+/// Broadcast counterpart of replay_gossip_rounds (same contracts).
+template <typename LinksOf>
+ReplayOutcome replay_broadcast_rounds(ReachCheckpoints& cps, int period,
+                                      bool expand_pairs, int from_round,
+                                      int max_rounds, LinksOf&& links_of) {
+  const int target = std::min(from_round < 0 ? 0 : from_round, max_rounds);
+  ReplayOutcome out;
+  out.start_round = cps.rewind(target);
+  if (cps.complete()) {
+    out.complete = true;
+    out.rounds = out.start_round;
+    return out;
+  }
+  for (int i = out.start_round + 1; i <= max_rounds; ++i) {
+    cps.step(links_of((i - 1) % period), expand_pairs);
+    cps.after_round(i);
+    if (cps.complete()) {
+      out.complete = true;
+      out.rounds = i;
+      return out;
+    }
+  }
+  out.rounds = max_rounds;
+  return out;
+}
+
+/// Simulator-level resume entries for compiled schedules: run (or re-run
+/// after a mutation at stored round >= from_round) from the nearest
+/// checkpoint <= from_round.  The caller acquires the checkpoint object
+/// once and may pass a *different* schedule on each call as long as it
+/// agrees with the previous one on all stored rounds < from_round.
+/// Finite compilations are capped at their round count; throws
+/// std::invalid_argument when n (or the broadcast state's source schedule
+/// size) does not match the acquisition.
+ReplayOutcome replay_gossip_from(KnowledgeCheckpoints& cps,
+                                 const protocol::CompiledSchedule& cs,
+                                 int from_round, int max_rounds);
+ReplayOutcome replay_broadcast_from(ReachCheckpoints& cps,
+                                    const protocol::CompiledSchedule& cs,
+                                    int from_round, int max_rounds);
+
+}  // namespace sysgo::simulator

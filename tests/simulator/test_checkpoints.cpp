@@ -1,0 +1,307 @@
+#include "simulator/checkpoints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "protocol/classic_protocols.hpp"
+#include "simulator/broadcast_sim.hpp"
+#include "simulator/gossip_sim.hpp"
+
+namespace sysgo::simulator {
+namespace {
+
+using protocol::CompiledSchedule;
+using protocol::Mode;
+using protocol::SystolicSchedule;
+
+constexpr int kCap = 1 << 12;
+
+std::vector<SystolicSchedule> corpus() {
+  return {
+      protocol::path_schedule(6, Mode::kHalfDuplex),
+      protocol::cycle_schedule(9, Mode::kHalfDuplex),
+      protocol::cycle_schedule(8, Mode::kFullDuplex),
+      protocol::hypercube_schedule(4, Mode::kFullDuplex),
+      protocol::hypercube_schedule(5, Mode::kHalfDuplex),
+  };
+}
+
+/// Drop one call from stored round p — a legal mutation (removing a call
+/// never breaks the matching property) whose earliest affected executed
+/// round is p + 1.  Full-duplex rounds carry both directions of an
+/// exchange, so the reverse arc goes too.
+SystolicSchedule drop_arc(const SystolicSchedule& sched, int p) {
+  SystolicSchedule out = sched;
+  auto& arcs = out.period[static_cast<std::size_t>(p)].arcs;
+  if (arcs.empty()) return out;
+  const graph::Arc dropped = arcs.back();
+  arcs.pop_back();
+  if (out.mode == Mode::kFullDuplex)
+    std::erase_if(arcs, [&](const graph::Arc& a) {
+      return a.tail == dropped.head && a.head == dropped.tail;
+    });
+  return out;
+}
+
+bool rows_equal(const KnowledgeMatrix& a, const KnowledgeMatrix& b) {
+  if (a.size() != b.size()) return false;
+  for (int v = 0; v < a.size(); ++v) {
+    if (a.count(v) != b.count(v)) return false;
+    const auto ra = a.row(v);
+    const auto rb = b.row(v);
+    if (!std::equal(ra.begin(), ra.end(), rb.begin())) return false;
+  }
+  return a.all_full() == b.all_full();
+}
+
+/// Plain (uncheckpointed) reference: run `rounds` executed rounds of cs.
+void run_reference(KnowledgeMatrix& know, const CompiledSchedule& cs,
+                   int rounds) {
+  const bool full = cs.mode() == Mode::kFullDuplex;
+  for (int i = 1; i <= rounds; ++i) {
+    const int p = (i - 1) % cs.round_count();
+    if (full)
+      know.merge_pairs(cs.round_pairs(p));
+    else
+      know.merge_arcs(cs.round_arcs(p));
+  }
+}
+
+TEST(KnowledgeCheckpoints, ReplayFromZeroMatchesGossipTime) {
+  for (int stride : {1, 3, kDefaultCheckpointStride, 7}) {
+    KnowledgeCheckpoints cps(stride);
+    for (const auto& sched : corpus()) {
+      const auto cs = CompiledSchedule::compile(sched);
+      const int want = gossip_time(cs, kCap);
+      ASSERT_GT(want, 0);
+      cps.acquire(cs.n());
+      const auto out = replay_gossip_from(cps, cs, 0, kCap);
+      EXPECT_TRUE(out.complete);
+      EXPECT_EQ(out.rounds, want);
+      EXPECT_EQ(out.start_round, 0);
+    }
+  }
+}
+
+TEST(KnowledgeCheckpoints, RewindRestoresExactRoundState) {
+  const auto sched = protocol::cycle_schedule(11, Mode::kHalfDuplex);
+  const auto cs = CompiledSchedule::compile(sched);
+  KnowledgeCheckpoints cps(3);
+  cps.acquire(cs.n());
+  const auto out = replay_gossip_from(cps, cs, 0, kCap);
+  ASSERT_TRUE(out.complete);
+
+  for (int target = out.rounds; target >= 0; --target) {
+    const int c = cps.rewind(target);
+    ASSERT_LE(c, target);
+    KnowledgeMatrix ref(cs.n());
+    run_reference(ref, cs, c);
+    EXPECT_TRUE(rows_equal(cps.matrix(), ref)) << "target " << target;
+    EXPECT_EQ(cps.live_round(), c);
+    EXPECT_EQ(cps.resume_point(target), c);
+  }
+  // After rewinding all the way down the state is the identity again.
+  EXPECT_EQ(cps.rewind(0), 0);
+  KnowledgeMatrix fresh(cs.n());
+  EXPECT_TRUE(rows_equal(cps.matrix(), fresh));
+  EXPECT_EQ(cps.checkpoint_count(), 0);
+}
+
+TEST(KnowledgeCheckpoints, SuffixReplayAfterMutationMatchesFreshRun) {
+  for (const auto& sched : corpus()) {
+    const auto cs = CompiledSchedule::compile(sched);
+    KnowledgeCheckpoints cps;
+    cps.acquire(cs.n());
+    ASSERT_TRUE(replay_gossip_from(cps, cs, 0, kCap).complete);
+
+    for (int p = 0; p < sched.period_length(); ++p) {
+      const auto mutated = drop_arc(sched, p);
+      const auto csm = CompiledSchedule::compile(mutated);
+      const int want = gossip_time(csm, kCap);
+      const auto out = replay_gossip_from(cps, csm, p, kCap);
+      if (want > 0) {
+        EXPECT_TRUE(out.complete);
+        EXPECT_EQ(out.rounds, want) << "stored round " << p;
+      } else {
+        EXPECT_FALSE(out.complete);
+      }
+      // Put the original back before the next mutation probe: rounds <= p
+      // agree between the drafts, so replaying from p restores lineage.
+      ASSERT_TRUE(replay_gossip_from(cps, cs, p, kCap).complete);
+    }
+  }
+}
+
+TEST(KnowledgeCheckpoints, ResumeIsFreeWhenSuffixUntouched) {
+  const auto sched = protocol::hypercube_schedule(5, Mode::kFullDuplex);
+  const auto cs = CompiledSchedule::compile(sched);
+  KnowledgeCheckpoints cps;
+  cps.acquire(cs.n());
+  const auto first = replay_gossip_from(cps, cs, 0, kCap);
+  ASSERT_TRUE(first.complete);
+  // Resuming from any round >= completion replays nothing.
+  const auto again =
+      replay_gossip_from(cps, cs, std::numeric_limits<int>::max() / 2, kCap);
+  EXPECT_TRUE(again.complete);
+  EXPECT_EQ(again.rounds, first.rounds);
+  EXPECT_EQ(again.start_round, again.rounds);
+}
+
+TEST(KnowledgeCheckpoints, CheckpointBytesTrackSnapshotsAndReset) {
+  const auto sched = protocol::cycle_schedule(10, Mode::kHalfDuplex);
+  const auto cs = CompiledSchedule::compile(sched);
+  KnowledgeCheckpoints cps(2);
+  cps.acquire(cs.n());
+  EXPECT_EQ(cps.checkpoint_bytes(), 0u);
+  EXPECT_EQ(cps.checkpoint_count(), 0);
+  ASSERT_TRUE(replay_gossip_from(cps, cs, 0, kCap).complete);
+  EXPECT_GT(cps.checkpoint_bytes(), 0u);
+  EXPECT_GT(cps.checkpoint_count(), 0);
+  const std::size_t bytes_full = cps.checkpoint_bytes();
+  // Rewinding drops suffix snapshots and their bytes.
+  cps.rewind(2);
+  EXPECT_LT(cps.checkpoint_bytes(), bytes_full);
+  // Acquire is a hard reset.
+  cps.acquire(cs.n());
+  EXPECT_EQ(cps.checkpoint_bytes(), 0u);
+  EXPECT_EQ(cps.checkpoint_count(), 0);
+  EXPECT_EQ(cps.live_round(), 0);
+}
+
+TEST(KnowledgeCheckpoints, SnapshotHorizonSkipsSnapshotsButRewindStaysExact) {
+  const auto sched = protocol::cycle_schedule(12, Mode::kHalfDuplex);
+  const auto cs = CompiledSchedule::compile(sched);
+  const int horizon = 6;
+
+  KnowledgeCheckpoints cps(2);
+  cps.acquire(cs.n());
+  cps.set_snapshot_horizon(horizon);
+  const auto out = replay_gossip_from(cps, cs, 0, kCap);
+  ASSERT_TRUE(out.complete);
+  ASSERT_GT(out.rounds, horizon);
+  // No snapshot lives beyond the horizon...
+  for (int t = horizon; t < out.rounds; ++t)
+    EXPECT_LE(cps.resume_point(t), horizon);
+  // ...yet rewinding below it is still exact.
+  for (int target : {horizon, 4, 3, 1, 0}) {
+    const int c = cps.rewind(target);
+    KnowledgeMatrix ref(cs.n());
+    run_reference(ref, cs, c);
+    EXPECT_TRUE(rows_equal(cps.matrix(), ref)) << "target " << target;
+    // Re-run to completion so the next iteration rewinds a full history.
+    ASSERT_TRUE(replay_gossip_from(cps, cs, target, kCap).complete);
+  }
+}
+
+TEST(KnowledgeCheckpoints, ReplayValidatesAcquisition) {
+  const auto cs =
+      CompiledSchedule::compile(protocol::path_schedule(4, Mode::kHalfDuplex));
+  KnowledgeCheckpoints cps;
+  EXPECT_THROW((void)replay_gossip_from(cps, cs, 0, kCap),
+               std::invalid_argument);
+  cps.acquire(cs.n() + 1);
+  EXPECT_THROW((void)replay_gossip_from(cps, cs, 0, kCap),
+               std::invalid_argument);
+}
+
+TEST(KnowledgeCheckpoints, StrideValidation) {
+  EXPECT_THROW(KnowledgeCheckpoints(0), std::invalid_argument);
+  EXPECT_THROW(KnowledgeCheckpoints(-3), std::invalid_argument);
+  EXPECT_EQ(KnowledgeCheckpoints(5).stride(), 5);
+}
+
+TEST(ReachCheckpoints, ReplayFromZeroMatchesBroadcastTime) {
+  for (const auto& sched : corpus()) {
+    const auto cs = CompiledSchedule::compile(sched);
+    ReachCheckpoints cps;
+    for (int src : {0, sched.n - 1}) {
+      const int want = broadcast_time(cs, src, kCap);
+      ASSERT_GT(want, 0);
+      cps.acquire(cs.n(), src);
+      const auto out = replay_broadcast_from(cps, cs, 0, kCap);
+      EXPECT_TRUE(out.complete);
+      EXPECT_EQ(out.rounds, want);
+    }
+  }
+}
+
+TEST(ReachCheckpoints, SuffixReplayAfterMutationMatchesFreshRun) {
+  const auto sched = protocol::cycle_schedule(10, Mode::kHalfDuplex);
+  const auto cs = CompiledSchedule::compile(sched);
+  ReachCheckpoints cps(2);
+  cps.acquire(cs.n(), 0);
+  ASSERT_TRUE(replay_broadcast_from(cps, cs, 0, kCap).complete);
+
+  for (int p = 0; p < sched.period_length(); ++p) {
+    const auto csm = CompiledSchedule::compile(drop_arc(sched, p));
+    const int want = broadcast_time(csm, 0, kCap);
+    const auto out = replay_broadcast_from(cps, csm, p, kCap);
+    if (want > 0) {
+      EXPECT_TRUE(out.complete);
+      EXPECT_EQ(out.rounds, want) << "stored round " << p;
+    } else {
+      EXPECT_FALSE(out.complete);
+    }
+    ASSERT_TRUE(replay_broadcast_from(cps, cs, p, kCap).complete);
+  }
+}
+
+TEST(ReachCheckpoints, RewindRestoresExactReachState) {
+  const auto sched = protocol::path_schedule(8, Mode::kHalfDuplex);
+  const auto cs = CompiledSchedule::compile(sched);
+  ReachCheckpoints cps(3);
+  cps.acquire(cs.n(), 0);
+  const auto out = replay_broadcast_from(cps, cs, 0, kCap);
+  ASSERT_TRUE(out.complete);
+
+  // Reference reached-count profile from a plain directed relay (compiled
+  // rounds carry both directions of an exchange already).
+  std::vector<int> ref{1};
+  {
+    std::vector<char> reach(static_cast<std::size_t>(cs.n()), 0);
+    reach[0] = 1;
+    int reached = 1;
+    for (int i = 1; i <= out.rounds; ++i) {
+      for (const graph::Arc& a : cs.round_arcs((i - 1) % cs.round_count()))
+        if (reach[static_cast<std::size_t>(a.tail)] &&
+            !reach[static_cast<std::size_t>(a.head)]) {
+          reach[static_cast<std::size_t>(a.head)] = 1;
+          ++reached;
+        }
+      ref.push_back(reached);
+    }
+  }
+
+  for (int target = out.rounds; target >= 0; --target) {
+    const int c = cps.rewind(target);
+    ASSERT_LE(c, target);
+    EXPECT_EQ(cps.reached(), ref[static_cast<std::size_t>(c)])
+        << "target " << target << " restored to " << c;
+    ASSERT_TRUE(replay_broadcast_from(cps, cs, target, kCap).complete);
+  }
+  cps.rewind(0);
+  EXPECT_EQ(cps.reached(), 1);
+  EXPECT_EQ(cps.live_round(), 0);
+}
+
+TEST(ReachCheckpoints, AcquireValidatesSourceAndTracksBytes) {
+  ReachCheckpoints cps(1);
+  EXPECT_THROW(cps.acquire(4, -1), std::invalid_argument);
+  EXPECT_THROW(cps.acquire(4, 4), std::invalid_argument);
+  const auto cs =
+      CompiledSchedule::compile(protocol::cycle_schedule(8, Mode::kHalfDuplex));
+  cps.acquire(cs.n(), 0);
+  EXPECT_EQ(cps.checkpoint_bytes(), 0u);
+  ASSERT_TRUE(replay_broadcast_from(cps, cs, 0, kCap).complete);
+  EXPECT_EQ(cps.checkpoint_bytes(),
+            static_cast<std::size_t>(cps.checkpoint_count()) *
+                static_cast<std::size_t>(cs.n()));
+  cps.acquire(cs.n(), 0);
+  EXPECT_EQ(cps.checkpoint_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sysgo::simulator

@@ -1,0 +1,308 @@
+// Differential property tests for the incremental (checkpoint + suffix
+// replay) draft evaluator: long random move lineages must produce
+// Objectives byte-identical to the full (from round 0) path — across
+// kernels, goals, adaptive round caps, period-change fallbacks, and the
+// accept/reject (invalidate_from) protocol the annealer actually runs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "protocol/builders.hpp"
+#include "simulator/kernels.hpp"
+#include "synth/objective.hpp"
+#include "synth/synthesizer.hpp"
+#include "topology/classic.hpp"
+#include "topology/kautz.hpp"
+#include "topology/random.hpp"
+
+namespace sysgo::synth {
+namespace {
+
+using protocol::Mode;
+using simulator::KernelKind;
+using simulator::ScopedKernel;
+
+void expect_identical(const Objective& inc, const Objective& full,
+                      const char* where, int step) {
+  EXPECT_EQ(inc.feasible, full.feasible) << where << " step " << step;
+  EXPECT_EQ(inc.rounds, full.rounds) << where << " step " << step;
+  EXPECT_EQ(inc.period, full.period) << where << " step " << step;
+  EXPECT_EQ(inc.links, full.links) << where << " step " << step;
+  EXPECT_EQ(inc.coverage, full.coverage) << where << " step " << step;
+  EXPECT_EQ(inc.audit_gap, full.audit_gap) << where << " step " << step;
+}
+
+/// Candidate links on the complete graph over n vertices in draft form
+/// (directed arcs for half duplex; tail < head representatives otherwise).
+std::vector<graph::Arc> link_pool(int n, Mode mode) {
+  std::vector<graph::Arc> pool;
+  for (int a = 0; a < n; ++a)
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (mode == Mode::kFullDuplex && a > b) continue;
+      pool.push_back({a, b});
+    }
+  return pool;
+}
+
+/// One random draft mutation out of the synthesizer's move set.  Period
+/// edits are weighted by `period_move_bias` (out of 100) so tests can force
+/// the full-fallback path hard.
+bool random_move(ScheduleDraft& draft, std::mt19937_64& rng,
+                 const std::vector<graph::Arc>& pool, int max_period,
+                 int period_move_bias) {
+  auto pick = [&](std::size_t bound) {
+    return static_cast<int>(rng() % bound);
+  };
+  const bool period_move =
+      static_cast<int>(rng() % 100) < period_move_bias;
+  switch (period_move ? 5 + pick(2) : pick(5)) {
+    case 0:
+      return draft.insert(pick(static_cast<std::size_t>(draft.period())),
+                          pool[rng() % pool.size()]);
+    case 1: {
+      const int r = pick(static_cast<std::size_t>(draft.period()));
+      if (draft.links(r).empty()) return false;
+      (void)draft.remove(r, rng() % draft.links(r).size());
+      return true;
+    }
+    case 2: {
+      const int r = pick(static_cast<std::size_t>(draft.period()));
+      if (draft.links(r).empty()) return false;
+      (void)draft.remove(r, rng() % draft.links(r).size());
+      return draft.insert(r, pool[rng() % pool.size()]);
+    }
+    case 3: {
+      const int from = pick(static_cast<std::size_t>(draft.period()));
+      const int to = pick(static_cast<std::size_t>(draft.period()));
+      if (from == to || draft.links(from).empty()) return false;
+      const graph::Arc link =
+          draft.remove(from, rng() % draft.links(from).size());
+      return draft.insert(to, link);
+    }
+    case 4:
+      if (draft.period() <= 1) return false;
+      draft.rotate(1 + pick(static_cast<std::size_t>(draft.period() - 1)));
+      return true;
+    case 5:
+      if (draft.period() >= max_period) return false;
+      draft.insert_round(pick(static_cast<std::size_t>(draft.period()) + 1));
+      return true;
+    default:
+      if (draft.period() <= 1) return false;
+      (void)draft.remove_round(pick(static_cast<std::size_t>(draft.period())));
+      return true;
+  }
+}
+
+struct LineageConfig {
+  int n = 10;
+  Mode mode = Mode::kHalfDuplex;
+  Goal goal = Goal::kGossip;
+  int source = 0;
+  int max_rounds = 256;
+  bool audit_gap = false;
+  int steps = 400;
+  int period_move_bias = 10;  // % of moves that grow/shrink the period
+  std::uint64_t seed = 1;
+};
+
+/// Drive one incremental and one full evaluator down the same random
+/// mutation lineage with the annealer's exact accept/reject protocol
+/// (adaptive cap included) and assert identical Objectives at every step.
+void run_differential(const LineageConfig& cfg, const char* where) {
+  const auto pool = link_pool(cfg.n, cfg.mode);
+  ScheduleDraft draft(cfg.n, cfg.mode, 4);
+  const int max_period = 12;
+  std::mt19937_64 rng(cfg.seed);
+
+  DraftEvaluator incremental(EvalMode::kIncremental);
+  DraftEvaluator full(EvalMode::kFull);
+  ObjectiveOptions base;
+  base.goal = cfg.goal;
+  base.source = cfg.source;
+  base.max_rounds = cfg.max_rounds;
+  base.audit_gap = cfg.audit_gap;
+
+  Objective current = incremental.evaluate(draft, base);
+  expect_identical(current, full.evaluate(draft, base), where, -1);
+  draft.clear_touched();
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    const ScheduleDraft backup = draft;
+    if (!random_move(draft, rng, pool, max_period, cfg.period_move_bias)) {
+      draft = backup;
+      continue;
+    }
+    const int touched = draft.period_changed() ? 0 : draft.touched_round();
+    // The annealer's adaptive cap: feasible incumbents shrink the horizon.
+    ObjectiveOptions capped = base;
+    if (current.feasible)
+      capped.max_rounds =
+          std::min(base.max_rounds, 2 * current.rounds + 16);
+    const Objective inc = incremental.evaluate(draft, capped);
+    const Objective ref = full.evaluate(draft, capped);
+    expect_identical(inc, ref, where, step);
+    if (::testing::Test::HasFailure()) return;  // first divergence is enough
+    const bool accept = better(inc, current) || rng() % 100 < 30;
+    if (accept) {
+      current = inc;
+      draft.clear_touched();
+    } else {
+      draft = backup;
+      incremental.invalidate_from(touched);
+    }
+  }
+  EXPECT_EQ(incremental.replay_stats().evals, full.replay_stats().evals);
+  EXPECT_LE(incremental.replay_stats().replayed_rounds,
+            incremental.replay_stats().total_rounds);
+}
+
+TEST(IncrementalEval, DifferentialHalfDuplexGossip) {
+  run_differential({}, "half-duplex gossip");
+}
+
+TEST(IncrementalEval, DifferentialFullDuplexGossip) {
+  LineageConfig cfg;
+  cfg.mode = Mode::kFullDuplex;
+  cfg.seed = 2;
+  run_differential(cfg, "full-duplex gossip");
+}
+
+TEST(IncrementalEval, DifferentialBroadcast) {
+  LineageConfig cfg;
+  cfg.goal = Goal::kBroadcast;
+  cfg.source = 3;
+  cfg.seed = 3;
+  run_differential(cfg, "broadcast");
+  cfg.mode = Mode::kFullDuplex;
+  cfg.seed = 4;
+  run_differential(cfg, "full-duplex broadcast");
+}
+
+TEST(IncrementalEval, DifferentialTightCapCoverageGradient) {
+  // A cap this tight keeps most candidates infeasible, exercising the
+  // coverage-gradient path and the adaptive-cap early exit on both arms.
+  LineageConfig cfg;
+  cfg.max_rounds = 6;
+  cfg.steps = 300;
+  cfg.seed = 5;
+  run_differential(cfg, "tight cap");
+}
+
+TEST(IncrementalEval, DifferentialPeriodChangeFallback) {
+  // Grow/shrink on almost every move: the incremental path must fall back
+  // to full replays (period changes shift the executed->stored wrap) and
+  // still match exactly.
+  LineageConfig cfg;
+  cfg.period_move_bias = 70;
+  cfg.steps = 300;
+  cfg.seed = 6;
+  run_differential(cfg, "period churn");
+}
+
+TEST(IncrementalEval, DifferentialAuditGap) {
+  LineageConfig cfg;
+  cfg.audit_gap = true;
+  cfg.steps = 120;  // audit compiles per feasible eval — keep it short
+  cfg.seed = 7;
+  run_differential(cfg, "audit gap");
+}
+
+TEST(IncrementalEval, DifferentialAcrossKernels) {
+  for (int k = 0; k < simulator::kKernelKindCount; ++k) {
+    const auto kind = static_cast<KernelKind>(k);
+    if (!simulator::kernel_supported(kind)) continue;
+    ScopedKernel guard(kind);
+    LineageConfig cfg;
+    cfg.n = 12;
+    cfg.steps = 200;
+    cfg.seed = 8;  // same lineage under every kernel
+    run_differential(cfg, simulator::kernel_name(kind));
+  }
+}
+
+// Satellite regression: switching goals on one evaluator must not thrash
+// (or shrink) the scratch allocation — the scratch is sized once for the
+// larger of both goals' layouts, so the backing pointer stays put and
+// results stay correct after the switch.
+TEST(IncrementalEval, ScratchSurvivesGoalSwitch) {
+  for (EvalMode mode : {EvalMode::kFull, EvalMode::kIncremental}) {
+    DraftEvaluator ev(mode);
+    DraftEvaluator fresh_gossip(mode);
+    DraftEvaluator fresh_broadcast(mode);
+    ScheduleDraft draft = ScheduleDraft::from_schedule(
+        protocol::edge_coloring_schedule(topology::kautz(2, 3),
+                                         Mode::kHalfDuplex));
+    ObjectiveOptions gossip;
+    ObjectiveOptions broadcast;
+    broadcast.goal = Goal::kBroadcast;
+    broadcast.source = 1;
+
+    const Objective g1 = ev.evaluate(draft, gossip);
+    const auto* scratch = ev.scratch_data();
+    ASSERT_NE(scratch, nullptr);
+    const Objective b1 = ev.evaluate(draft, broadcast);
+    EXPECT_EQ(ev.scratch_data(), scratch) << "broadcast switch reallocated";
+    const Objective g2 = ev.evaluate(draft, gossip);
+    EXPECT_EQ(ev.scratch_data(), scratch) << "gossip switch reallocated";
+
+    expect_identical(g1, fresh_gossip.evaluate(draft, gossip), "pre-switch",
+                     0);
+    expect_identical(b1, fresh_broadcast.evaluate(draft, broadcast),
+                     "broadcast", 1);
+    expect_identical(g2, g1, "post-switch gossip", 2);
+  }
+}
+
+TEST(IncrementalEval, SynthesizeMatchesFullAcrossThreads) {
+  // End-to-end: the whole synthesizer run is byte-identical between eval
+  // modes and thread counts (same seeds, same restart schedule).
+  const auto g = topology::kautz(2, 3);
+  SynthOptions base;
+  base.restarts = 3;
+  base.iterations = 500;
+  base.threads = 1;
+  base.eval = EvalMode::kFull;
+  const auto want = synthesize(g, base);
+
+  for (unsigned threads : {1u, 4u}) {
+    SynthOptions opts = base;
+    opts.eval = EvalMode::kIncremental;
+    opts.threads = threads;
+    const auto got = synthesize(g, opts);
+    expect_identical(got.objective, want.objective, "synthesize",
+                     static_cast<int>(threads));
+    EXPECT_EQ(got.schedule.period, want.schedule.period)
+        << threads << " threads";
+    EXPECT_EQ(got.best_restart, want.best_restart);
+    EXPECT_EQ(got.moves_accepted, want.moves_accepted);
+    // The savings counters are the one permitted difference; they must
+    // still be internally consistent.
+    EXPECT_LE(got.replayed_rounds, got.replay_total_rounds);
+  }
+}
+
+TEST(IncrementalEval, HeavySynthesisAtTwoHundredVertices) {
+  // The tentpole's reason to exist: synthesis at n in the hundreds.  Gated
+  // like the other heavy suites.
+  if (std::getenv("SYSGO_HEAVY_TESTS") == nullptr)
+    GTEST_SKIP() << "set SYSGO_HEAVY_TESTS=1 to run (~minutes)";
+  const auto g = topology::random_regular(4, 200, 7);
+  SynthOptions opts;
+  opts.restarts = 1;
+  opts.iterations = 300;
+  opts.threads = 1;
+  SynthOptions full = opts;
+  full.eval = EvalMode::kFull;
+  const auto want = synthesize(g, full);
+  const auto got = synthesize(g, opts);
+  expect_identical(got.objective, want.objective, "n=200", 0);
+  EXPECT_EQ(got.schedule.period, want.schedule.period);
+  ASSERT_TRUE(got.objective.feasible);
+}
+
+}  // namespace
+}  // namespace sysgo::synth
